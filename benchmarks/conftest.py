@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table/figure of the paper: it runs the
+corresponding experiment module once (``benchmark.pedantic`` with a single
+round — the experiments are full simulation sweeps, not microbenchmarks),
+prints the regenerated rows in the same layout the paper reports, writes
+them to ``benchmarks/results/``, and asserts the paper's qualitative
+shape (who wins, orderings, crossovers).
+
+Run with:  pytest benchmarks/ --benchmark-only
+Scale up:  REPRO_SCALE=full pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_rows(results_dir, capsys):
+    """Print a regenerated artefact and persist it under results/."""
+
+    def _record(name: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,62 @@
+"""Extension benches: path-quality invariance and sensitivity studies.
+
+Not paper figures — design-space results a release would ship alongside
+the reproduction (DESIGN.md lists them as ablation/extension targets).
+"""
+
+from repro.experiments import path_quality, sensitivity
+from repro.experiments.common import current_scale, format_table
+
+from .conftest import run_once
+
+
+def test_path_quality_invariance(benchmark, record_rows):
+    rows = run_once(benchmark, path_quality.run, scale=current_scale())
+    record_rows(
+        "ext_path_quality",
+        format_table(
+            rows,
+            columns=("samples", "expectation_min", "expectation_max",
+                     "best_latency", "worst_latency", "best_misroutes",
+                     "worst_misroutes"),
+            title="Extension: drain-path choice is performance-free "
+                  "(misroute expectation is a topology invariant)",
+        ),
+    )
+    row = rows[0]
+    assert row["expectation_spread"] < 1e-12
+    assert row["best_latency"] == _approx(row["worst_latency"], 0.15)
+
+
+def _approx(value, rel):
+    class _Cmp:
+        def __eq__(self, other):
+            return abs(other - value) <= rel * abs(value)
+    return _Cmp()
+
+
+def test_sensitivity_studies(benchmark, record_rows):
+    rows = run_once(benchmark, sensitivity.run, scale=current_scale())
+    record_rows(
+        "ext_sensitivity",
+        format_table(
+            rows,
+            columns=("study", "vcs_per_vn", "ejection_depth", "mshrs",
+                     "packet_flits", "latency", "throughput", "runtime",
+                     "finished"),
+            title="Extension: structural sensitivity of DRAIN",
+        ),
+    )
+    by_study = {}
+    for row in rows:
+        by_study.setdefault(row["study"], []).append(row)
+    # VC study: 1 VC is the worst latency point.
+    vcs = {r["vcs_per_vn"]: r for r in by_study["vcs"]}
+    assert vcs[1]["latency"] >= vcs[2]["latency"]
+    # Protocol studies complete everywhere.
+    assert all(r["finished"] for r in by_study["ejection_depth"])
+    assert all(r["finished"] for r in by_study["mshrs"])
+    # Serialisation: longer packets cost latency monotonically at the
+    # extremes.
+    sizes = {r["packet_flits"]: r for r in by_study["packet_size"]}
+    assert sizes[8]["latency"] > sizes[1]["latency"]

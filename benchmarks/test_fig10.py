@@ -1,0 +1,39 @@
+"""Figure 10: saturation throughput vs faults for escape-VC, SPIN, DRAIN."""
+
+from repro.experiments import fig10_throughput
+from repro.experiments.common import current_scale, format_table
+
+from .conftest import run_once
+
+
+def test_fig10_throughput(benchmark, record_rows):
+    rows = run_once(
+        benchmark,
+        fig10_throughput.throughput_vs_faults,
+        faults=(0, 4, 12),
+        patterns=("uniform_random", "transpose"),
+        scale=current_scale(),
+    )
+    record_rows(
+        "fig10_throughput",
+        format_table(
+            rows,
+            columns=("pattern", "faults", "escape_vc", "spin", "drain"),
+            title="Figure 10: saturation throughput "
+                  "(packets/node/cycle, 8x8 mesh)",
+        ),
+    )
+    ur = [r for r in rows if r["pattern"] == "uniform_random"]
+    for row in ur:
+        # Escape VCs yield the lowest throughput of the three techniques.
+        assert row["escape_vc"] <= row["spin"] * 1.02
+        assert row["escape_vc"] <= row["drain"] * 1.05
+        # DRAIN achieves the same throughput as SPIN for uniform random.
+        assert abs(row["drain"] - row["spin"]) / row["spin"] < 0.10
+    # Transpose: DRAIN within ~15% of SPIN ("slightly lower").
+    for row in rows:
+        if row["pattern"] == "transpose":
+            assert row["drain"] >= row["spin"] * 0.80
+    # Faults cost bandwidth: the fault-free network saturates highest.
+    assert ur[0]["spin"] >= ur[-1]["spin"]
+    assert ur[0]["drain"] >= ur[-1]["drain"]

@@ -1,0 +1,39 @@
+"""Figure 11: low-load packet latency vs faults for the three schemes."""
+
+from repro.experiments import fig11_latency
+from repro.experiments.common import current_scale, format_table
+
+from .conftest import run_once
+
+
+def test_fig11_latency(benchmark, record_rows):
+    rows = run_once(
+        benchmark,
+        fig11_latency.latency_vs_faults,
+        faults=(0, 4, 12),
+        patterns=("uniform_random", "transpose"),
+        scale=current_scale(),
+    )
+    record_rows(
+        "fig11_latency",
+        format_table(
+            rows,
+            columns=("pattern", "faults", "escape_vc", "spin", "drain"),
+            title="Figure 11: low-load average packet latency (cycles, "
+                  "8x8 mesh)",
+        ),
+    )
+    for row in rows:
+        # DRAIN achieves the same latency as SPIN (deadlocks are absent at
+        # low load, so the subactive machinery is pure bystander).
+        assert abs(row["drain"] - row["spin"]) / row["spin"] < 0.08
+        # Both beat (or match) escape VCs; the escape baseline pays for
+        # packets that ride the restricted escape path.
+        assert row["escape_vc"] >= row["spin"] * 0.98
+    # Latency increases with faults for every scheme (reduced diversity).
+    ur = [r for r in rows if r["pattern"] == "uniform_random"]
+    for scheme in ("escape_vc", "spin", "drain"):
+        assert ur[-1][scheme] >= ur[0][scheme] * 0.98
+    # With faults, escape VC's up*/down* escape path costs extra latency.
+    faulty_ur = [r for r in ur if r["faults"] >= 4]
+    assert any(r["escape_vc"] > r["drain"] * 1.02 for r in faulty_ur)

@@ -1,0 +1,37 @@
+"""Figure 12: Ligra application study on the 64-core 8x8 mesh."""
+
+from repro.experiments import fig12_ligra
+from repro.experiments.common import current_scale, format_table
+from repro.traffic.workloads import LIGRA
+
+from .conftest import run_once
+
+
+def test_fig12_ligra(benchmark, record_rows):
+    rows = run_once(
+        benchmark, fig12_ligra.run,
+        scale=current_scale(), faults=(0, 8), workloads=LIGRA[:4],
+    )
+    record_rows(
+        "fig12_ligra",
+        format_table(
+            rows,
+            columns=("workload", "faults", "config", "latency",
+                     "norm_latency", "runtime", "norm_runtime"),
+            title="Figure 12: Ligra packet latency & runtime normalized "
+                  "to escape VC (8x8 mesh)",
+        ),
+    )
+    assert all(r["finished"] for r in rows), "every configuration completes"
+    # Aggregate over workloads/faults per configuration.
+    def avg(config, key):
+        vals = [r[key] for r in rows if r["config"] == config and key in r]
+        return sum(vals) / len(vals)
+
+    # DRAIN and SPIN achieve similar runtime; application runtimes are not
+    # harmed by DRAIN's default single-VN configuration.
+    assert abs(avg("drain_vn1_vc2", "norm_runtime") - avg("spin", "norm_runtime")) < 0.25
+    assert avg("drain_vn1_vc2", "norm_runtime") < 1.25
+    # The richer DRAIN configurations track the baselines closely.
+    assert avg("drain_vn3_vc2", "norm_runtime") < 1.2
+    assert avg("drain_vn1_vc6", "norm_runtime") < 1.2

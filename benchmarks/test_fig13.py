@@ -1,0 +1,37 @@
+"""Figure 13: PARSEC application study on the 16-core 4x4 mesh."""
+
+from repro.experiments import fig13_parsec
+from repro.experiments.common import current_scale, format_table
+
+from .conftest import run_once
+
+
+def test_fig13_parsec(benchmark, record_rows):
+    rows = run_once(
+        benchmark, fig13_parsec.run, scale=current_scale(), faults=(0, 8)
+    )
+    record_rows(
+        "fig13_parsec",
+        format_table(
+            rows,
+            columns=("workload", "faults", "config", "latency",
+                     "norm_latency", "runtime", "norm_runtime"),
+            title="Figure 13: PARSEC packet latency & runtime normalized "
+                  "to escape VC (4x4 mesh)",
+        ),
+    )
+    assert all(r["finished"] for r in rows)
+    def avg(config, key):
+        vals = [r[key] for r in rows if r["config"] == config and key in r]
+        return sum(vals) / len(vals)
+
+    # Runtimes stay comparable across schemes (paper Figures 13c/13d).
+    for config in ("spin", "drain_vn3_vc2", "drain_vn1_vc6", "drain_vn1_vc2"):
+        assert avg(config, "norm_runtime") < 1.3
+    # Every workload finished under the default DRAIN config at 8 faults —
+    # the protocol-deadlock guarantee on a single VN.
+    assert all(
+        r["finished"]
+        for r in rows
+        if r["config"] == "drain_vn1_vc2" and r["faults"] == 8
+    )

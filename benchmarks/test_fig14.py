@@ -1,0 +1,36 @@
+"""Figure 14: DRAIN epoch sensitivity (16 .. 64K cycles)."""
+
+from repro.experiments import fig14_epoch
+from repro.experiments.common import current_scale, format_table
+
+from .conftest import run_once
+
+
+def test_fig14_epoch(benchmark, record_rows):
+    rows = run_once(
+        benchmark,
+        fig14_epoch.epoch_sensitivity,
+        epochs=(16, 64, 256, 1024, 4096, 65536),
+        scale=current_scale(),
+    )
+    record_rows(
+        "fig14_epoch",
+        format_table(
+            rows,
+            columns=("epoch", "latency", "saturation", "misroutes",
+                     "drain_windows"),
+            title="Figure 14: epoch sensitivity (uniform random, 8x8 mesh)",
+        ),
+    )
+    by_epoch = {r["epoch"]: r for r in rows}
+    # A 16-cycle epoch continuously flushes the drain path: worst latency
+    # and worst saturation throughput of the sweep.
+    assert by_epoch[16]["latency"] == max(r["latency"] for r in rows)
+    assert by_epoch[16]["saturation"] == min(r["saturation"] for r in rows)
+    # Large epochs converge: 4096 and 65536 within a few percent.
+    big, huge = by_epoch[4096], by_epoch[65536]
+    assert abs(big["latency"] - huge["latency"]) / huge["latency"] < 0.10
+    # Misrouting vanishes as the epoch grows.
+    assert by_epoch[16]["misroutes"] > by_epoch[65536]["misroutes"]
+    # Monotone improvement from 16 to 1024 (latency strictly helped).
+    assert by_epoch[16]["latency"] > by_epoch[1024]["latency"]

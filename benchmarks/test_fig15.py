@@ -1,0 +1,31 @@
+"""Figure 15: 99th-percentile tail packet latency across schemes."""
+
+from repro.experiments import fig15_tail
+from repro.experiments.common import current_scale, format_table
+
+from .conftest import run_once
+
+
+def test_fig15_tail_latency(benchmark, record_rows):
+    rows = run_once(benchmark, fig15_tail.tail_latency, scale=current_scale())
+    record_rows(
+        "fig15_tail_latency",
+        format_table(
+            rows,
+            columns=("workload", "faults", "config", "p99_latency",
+                     "norm_p99"),
+            title="Figure 15: 99th-percentile packet latency normalized "
+                  "to escape VC",
+        ),
+    )
+    def avg(config):
+        vals = [r["norm_p99"] for r in rows if r["config"] == config]
+        return sum(vals) / len(vals)
+
+    # Despite infrequent, oblivious draining the tail impact is small:
+    # DRAIN's richer configs track SPIN; only VN-1/VC-2 may show a modest
+    # increase (paper's observation).
+    assert avg("drain_vn3_vc2") < avg("spin") * 1.5 + 0.5
+    assert avg("drain_vn1_vc2") < 3.0  # "modest", not catastrophic
+    # SPIN and escape-VC tails are comparable at these loads.
+    assert avg("spin") < 2.0

@@ -1,0 +1,29 @@
+"""Figures 1 and 2 as executable scenarios (the paper's motivating cartoons)."""
+
+from repro.experiments import fig1_fig2_scenarios
+from repro.experiments.common import format_table
+
+from .conftest import run_once
+
+
+def test_fig1_fig2_scenarios(benchmark, record_rows):
+    rows = run_once(benchmark, fig1_fig2_scenarios.run)
+    printable = [
+        {k: v for k, v in row.items()} for row in rows
+    ]
+    record_rows(
+        "fig1_fig2_scenarios",
+        format_table(
+            printable,
+            columns=("panel", "resolved", "delivered", "completed",
+                     "probes", "drain_windows", "wedged"),
+            title="Figures 1 & 2 as executable scenarios",
+        ),
+    )
+    by = {r["panel"]: r for r in rows}
+    assert not by["1a_no_protection"]["resolved"]
+    assert by["1c_spin"]["resolved"] and by["1c_spin"]["probes"] > 0
+    assert by["1d_drain"]["resolved"] and by["1d_drain"]["probes"] == 0
+    assert by["2a_shared_vn_no_protection"]["wedged"]
+    assert by["2b_virtual_networks"]["resolved"]
+    assert by["2c_drain_single_vn"]["resolved"]

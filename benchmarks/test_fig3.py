@@ -1,0 +1,71 @@
+"""Figure 3: deadlock likelihood for PARSEC workloads as links are removed."""
+
+from repro.experiments import fig3_deadlock_likelihood
+from repro.experiments.common import current_scale, format_table
+
+from .conftest import run_once
+
+
+def test_fig3_deadlock_likelihood(benchmark, record_rows):
+    scale = current_scale()
+
+    def both_series():
+        # 1 VC at the workloads' mean injection intensity.
+        rows = fig3_deadlock_likelihood.deadlock_likelihood(
+            links_removed=(0, 4, 8, 12), vcs_options=(1,), runs=3,
+            scale=scale, intensity_scale=1.0,
+        )
+        # 4 VCs at peak-phase intensity (2x the mean): Bernoulli sources
+        # have no bursts, so the transient saturation that wedges a 4-VC
+        # network in real canneal phases is modelled by the 2x stress.
+        rows += fig3_deadlock_likelihood.deadlock_likelihood(
+            links_removed=(0, 4, 8, 12), vcs_options=(4,), runs=3,
+            scale=scale, intensity_scale=2.0,
+        )
+        return rows
+
+    rows = run_once(benchmark, both_series)
+    record_rows(
+        "fig3_deadlock_likelihood",
+        format_table(
+            rows,
+            columns=("workload", "vcs", "links_removed", "deadlock_pct", "runs"),
+            title="Figure 3: % of runs that deadlock (fully adaptive, no "
+                  "deadlock protection, 8x8 mesh; 4-VC series at 2x "
+                  "peak-phase intensity)",
+        ),
+    )
+    # Shape 1: no deadlocks in the fully functional (0 removed) network at
+    # nominal intensity.
+    assert all(
+        r["deadlock_pct"] == 0.0
+        for r in rows
+        if r["links_removed"] == 0 and r["vcs"] == 1
+    )
+    # Shape 2: deadlocks appear once enough links are removed.
+    assert any(
+        r["deadlock_pct"] > 0.0
+        for r in rows
+        if r["vcs"] == 1 and r["links_removed"] >= 8
+    )
+    # Shape 3: canneal (highest injection rate) deadlocks at least as much
+    # as the lightest workload at the heaviest fault count.
+    heavy = max(
+        r["deadlock_pct"]
+        for r in rows
+        if r["workload"] == "canneal" and r["vcs"] == 1
+    )
+    light = max(
+        r["deadlock_pct"]
+        for r in rows
+        if r["workload"] == "blackscholes" and r["vcs"] == 1
+    )
+    assert heavy >= light
+    assert heavy > 0.0
+    # Shape 4: extra VCs delay but do not prevent deadlock — under
+    # peak-phase load, 4-VC runs still deadlock at high fault counts.
+    assert any(
+        r["deadlock_pct"] > 0.0
+        for r in rows
+        if r["vcs"] == 4 and r["links_removed"] == 12
+    )

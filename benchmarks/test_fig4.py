@@ -1,0 +1,31 @@
+"""Figure 4: virtual-network power is dominated by wasted (idle) power."""
+
+from repro.experiments import fig4_vnet_power
+from repro.experiments.common import current_scale, format_table
+
+from .conftest import run_once
+
+
+def test_fig4_vnet_power(benchmark, record_rows):
+    rows = run_once(benchmark, fig4_vnet_power.vnet_power_split,
+                    scale=current_scale())
+    printable = [
+        {k: v for k, v in row.items() if k != "per_vn"} for row in rows
+    ]
+    record_rows(
+        "fig4_vnet_power",
+        format_table(
+            printable,
+            columns=("workload", "active_power", "wasted_power",
+                     "wasted_fraction"),
+            title="Figure 4: active vs wasted virtual-network power "
+                  "(3-VN escape-VC baseline)",
+        ),
+    )
+    # Shape: the vast majority of VN power is wasted, for every workload.
+    assert all(r["wasted_fraction"] > 0.5 for r in rows)
+    assert sum(r["wasted_fraction"] for r in rows) / len(rows) > 0.7
+    # Idle virtual networks burn power: for every workload the
+    # least-utilised VN (the forward class) is almost entirely wasted.
+    for row in rows:
+        assert max(s.wasted_fraction for s in row["per_vn"]) > 0.75

@@ -1,0 +1,38 @@
+"""Figure 5: up*/down* vs ideal fully adaptive routing (the cost of
+proactive turn restrictions)."""
+
+from repro.experiments import fig5_updown_gap
+from repro.experiments.common import current_scale, format_table
+
+from .conftest import run_once
+
+
+def test_fig5_updown_gap(benchmark, record_rows):
+    rows = run_once(
+        benchmark, fig5_updown_gap.updown_gap,
+        faults=(0, 4, 12), scale=current_scale(),
+    )
+    record_rows(
+        "fig5_updown_gap",
+        format_table(
+            rows,
+            columns=("faults", "updown_latency", "ideal_latency",
+                     "latency_gap_pct", "updown_saturation",
+                     "ideal_saturation", "saturation_ratio"),
+            title="Figure 5: up*/down* vs ideal deadlock-free fully "
+                  "adaptive (8x8 mesh, uniform random)",
+        ),
+    )
+    for row in rows:
+        # up*/down* never beats the ideal network on either metric.
+        assert row["updown_latency"] >= row["ideal_latency"] * 0.995
+        assert row["updown_saturation"] <= row["ideal_saturation"] * 1.10
+    # The latency gap exists under faults (non-minimal routes appear).
+    faulty = [r for r in rows if r["faults"] >= 4]
+    assert any(r["latency_gap_pct"] > 1.0 for r in faulty)
+    # Turn restrictions cost real saturation at low fault counts
+    # (paper: up*/down* leaves a large share of the ideal throughput on
+    # the table when the topology is healthy)...
+    assert rows[0]["saturation_ratio"] < 0.92
+    # ...and the two configurations converge as faults remove bandwidth.
+    assert rows[-1]["saturation_ratio"] > rows[0]["saturation_ratio"]

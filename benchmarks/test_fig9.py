@@ -1,0 +1,52 @@
+"""Figure 9: router area and power, normalized to the escape-VC baseline."""
+
+from repro.experiments import fig9_area_power
+from repro.experiments.common import format_table
+
+from .conftest import run_once
+
+
+def test_fig9_area_power(benchmark, record_rows):
+    rows = run_once(benchmark, fig9_area_power.run)
+    record_rows(
+        "fig9_area_power",
+        format_table(
+            rows,
+            columns=("scheme", "area", "static_power", "norm_area",
+                     "norm_power", "buffer_area_fraction"),
+            title="Figure 9: router area & static power normalized to "
+                  "escape VCs (analytical model, 11nm-style coefficients)",
+        ),
+    )
+    by_scheme = {r["scheme"]: r for r in rows}
+    drain = by_scheme["drain"]
+    spin = by_scheme["spin"]
+    # Paper: ~72% area reduction vs escape VCs.
+    assert 0.60 < 1.0 - drain["norm_area"] < 0.85
+    # Paper: ~77% power saving vs the baselines.
+    assert 0.65 < 1.0 - drain["norm_power"] < 0.85
+    assert 0.60 < 1.0 - drain["static_power"] / spin["static_power"] < 0.85
+    # SPIN pays for virtual networks + control; sits between.
+    assert drain["norm_area"] < spin["norm_area"] < 1.0
+    # Buffers dominate every router (Section II-B).
+    assert all(r["buffer_area_fraction"] > 0.5 for r in rows)
+
+
+def test_fig9_moesi_extrapolation(benchmark, record_rows):
+    """Section V-A: with MOESI's six virtual networks DRAIN's savings grow."""
+    rows = run_once(benchmark, fig9_area_power.moesi_comparison)
+    record_rows(
+        "fig9_moesi_extrapolation",
+        format_table(
+            rows,
+            columns=("protocol", "scheme", "norm_area", "norm_power"),
+            title="Figure 9 extension: MESI (3 VN) vs MOESI (6 VN) baselines",
+        ),
+    )
+    def saving(protocol: str) -> float:
+        drain = next(r for r in rows
+                     if r["protocol"] == protocol and r["scheme"] == "drain")
+        return 1.0 - drain["norm_power"]
+
+    assert saving("moesi") > saving("mesi")
+    assert saving("moesi") > 0.80  # even greater than MESI's ~77%

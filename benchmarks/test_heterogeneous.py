@@ -1,0 +1,35 @@
+"""Section VI discussion: DRAIN on chiplet and random topologies."""
+
+from repro.experiments import heterogeneous
+from repro.experiments.common import current_scale, format_table
+
+from .conftest import run_once
+
+
+def test_heterogeneous_and_random_topologies(benchmark, record_rows):
+    rows = run_once(benchmark, heterogeneous.heterogeneous_study,
+                    scale=current_scale())
+    record_rows(
+        "section6_heterogeneous",
+        format_table(
+            rows,
+            columns=("topology", "nodes", "diameter", "drain_latency",
+                     "updown_latency", "drain_hops", "updown_hops",
+                     "latency_gain_pct"),
+            title="Section VI: DRAIN (fully adaptive) vs up*/down* on "
+                  "chiplet and random topologies",
+        ),
+    )
+    # DRAIN routes minimally; up*/down* never does better on hops.
+    for row in rows:
+        assert row["drain_hops"] <= row["updown_hops"] + 0.02
+    # Random topologies are where turn restrictions hurt most: the
+    # small-world and random-regular rows must show a real hop penalty.
+    random_rows = [
+        r for r in rows
+        if r["topology"].startswith(("smallworld", "randomregular"))
+    ]
+    assert random_rows
+    assert any(
+        r["updown_hops"] > r["drain_hops"] * 1.03 for r in random_rows
+    )

@@ -1,0 +1,31 @@
+"""Wear-out lifetime bench (Section II-D use case)."""
+
+from repro.experiments import lifetime
+from repro.experiments.common import current_scale, format_table
+
+from .conftest import run_once
+
+
+def test_lifetime_wearout(benchmark, record_rows):
+    rows = run_once(
+        benchmark, lifetime.lifetime_study,
+        total_failures=12, measure_every=4, scale=current_scale(),
+    )
+    record_rows(
+        "section2d_lifetime",
+        format_table(
+            rows,
+            columns=("failures", "links_left", "drain_path_length",
+                     "diameter", "drain_latency", "updown_latency"),
+            title="Section II-D: ageing 8x8 mesh, DRAIN vs up*/down*",
+        ),
+    )
+    # The offline algorithm succeeded at every era: path = 2 x links.
+    for row in rows:
+        assert row["drain_path_length"] == 2 * row["links_left"]
+        assert row["drain_delivered"] > 0
+    # DRAIN keeps (near-)minimal latency; up*/down* never beats it by more
+    # than noise, and latency degrades gracefully with failures.
+    for row in rows:
+        assert row["drain_latency"] <= row["updown_latency"] * 1.05
+    assert rows[-1]["drain_latency"] >= rows[0]["drain_latency"] * 0.98

@@ -1,0 +1,29 @@
+"""Table I: qualitative comparison of deadlock-freedom solutions."""
+
+from repro.experiments import table1_comparison
+from repro.experiments.common import format_table
+
+from .conftest import run_once
+
+
+def test_table1_comparison(benchmark, record_rows):
+    rows = run_once(benchmark, table1_comparison.run)
+    record_rows(
+        "table1_comparison",
+        format_table(
+            rows,
+            columns=("solution", "type", "high_perf", "low_area_power",
+                     "low_complexity", "routing_dl", "protocol_dl"),
+            title="Table I: comparison of deadlock-freedom solutions",
+        ),
+    )
+    drain = next(r for r in rows if r["solution"] == "drain")
+    assert drain["type"] == "subactive"
+    # Paper's claim: DRAIN is the only scheme with every property.
+    others = [r for r in rows if r["solution"] != "drain"]
+    assert all(
+        any(r[k] == "no" for k in ("high_perf", "low_area_power",
+                                   "low_complexity", "routing_dl",
+                                   "protocol_dl"))
+        for r in others
+    )

@@ -1,0 +1,19 @@
+"""Table II: key simulation parameters (configuration audit)."""
+
+from repro.experiments import table2_parameters
+from repro.experiments.common import format_table
+
+from .conftest import run_once
+
+
+def test_table2_parameters(benchmark, record_rows):
+    rows = run_once(benchmark, table2_parameters.run)
+    record_rows(
+        "table2_parameters",
+        format_table(
+            rows,
+            columns=("parameter", "paper", "repro"),
+            title="Table II: key simulation parameters (paper vs repro)",
+        ),
+    )
+    assert all(r["match"] for r in rows)

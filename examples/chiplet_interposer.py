@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Chiplet composition demo (Section VI: Heterogeneous Systems).
+
+Four independently designed 2x2 mesh chiplets are composed over an
+interposer. The composition is not deadlock-free even though each part is,
+so conventional designs add boundary turn restrictions; DRAIN instead
+computes one drain path over the whole composed network and keeps routing
+fully adaptive.
+
+Run:  python examples/chiplet_interposer.py
+"""
+
+import random
+
+from repro import (
+    DrainConfig,
+    NetworkConfig,
+    Scheme,
+    SimConfig,
+    Simulation,
+    find_drain_path,
+)
+from repro.experiments.common import format_table
+from repro.topology import make_chiplet_system
+from repro.traffic import SyntheticTraffic, UniformRandom
+
+
+def main() -> None:
+    system = make_chiplet_system(
+        chiplet_width=2, chiplet_height=2, num_chiplets=6,
+        interposer_width=3, links_per_chiplet=2,
+    )
+    topo = system.topology
+    print(f"System: {system}")
+    print(f"Composed topology: {topo}")
+
+    path = find_drain_path(topo)
+    boundary_hops = sum(
+        1 for link in path.links
+        if system.is_boundary_link(link.src, link.dst)
+    )
+    print(
+        f"Drain path: {len(path)} links, crossing chiplet boundaries "
+        f"{boundary_hops} times (each vertical link, both directions)."
+    )
+
+    rows = []
+    for scheme in (Scheme.UPDOWN, Scheme.DRAIN):
+        config = SimConfig(
+            scheme=scheme,
+            network=NetworkConfig(num_vns=1, vcs_per_vn=2),
+            drain=DrainConfig(epoch=1024),
+        )
+        traffic = SyntheticTraffic(
+            UniformRandom(topo.num_nodes), 0.05, random.Random(9)
+        )
+        sim = Simulation(topo, config, traffic,
+                         drain_path=path if scheme is Scheme.DRAIN else None)
+        stats = sim.run(5_000, warmup=1_000)
+        rows.append(
+            {
+                "scheme": "up*/down* (boundary restrictions)"
+                if scheme is Scheme.UPDOWN else "DRAIN (fully adaptive)",
+                "avg_latency": stats.avg_latency,
+                "avg_hops": stats.hops.mean,
+                "throughput": sim.throughput(),
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            columns=("scheme", "avg_latency", "avg_hops", "throughput"),
+            title="Uniform random @ 0.05 on the composed chiplet system",
+        )
+    )
+    print(
+        "\nDRAIN keeps routing minimal and fully adaptive across chiplet "
+        "boundaries with no composition-time deadlock analysis at all: the "
+        "one drain path over the composed network is the entire correctness "
+        "argument. The up*/down* alternative must funnel some traffic "
+        "through its spanning tree (higher hop count as the composition "
+        "gets richer) and must be re-verified for every new composition."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Protocol-level deadlock demo (the paper's Figure 2).
+
+A MESI-style directory protocol splits transactions into request, forward
+and response messages. On a single shared virtual network those classes
+block each other through the directory's dependency chain — a protocol
+deadlock no routing scheme can fix. The conventional cure is one virtual
+network per class (3x the buffers); DRAIN's cure is periodic draining on
+ONE virtual network.
+
+This script wedges the single-VN network without protection, then shows
+DRAIN completing the same workload, and compares against the 3-VN baseline.
+
+Run:  python examples/coherence_protocol.py
+"""
+
+import random
+
+from repro import (
+    DrainConfig,
+    NetworkConfig,
+    ProtocolConfig,
+    Scheme,
+    SimConfig,
+    Simulation,
+    inject_link_faults,
+    make_mesh,
+)
+from repro.experiments.common import format_table
+from repro.protocol import CoherenceTraffic
+
+TXNS_PER_NODE = 40
+
+
+def run_case(label, topo, scheme, num_vns, vcs):
+    config = SimConfig(
+        scheme=scheme,
+        network=NetworkConfig(num_vns=num_vns, vcs_per_vn=vcs,
+                              ejection_queue_depth=2),
+        drain=DrainConfig(epoch=128, full_drain_period=16),
+    )
+    traffic = CoherenceTraffic(
+        topo.num_nodes,
+        ProtocolConfig(mshrs_per_node=8, forward_probability=0.5),
+        issue_probability=0.15,
+        rng=random.Random(11),
+        total_transactions=TXNS_PER_NODE * topo.num_nodes,
+    )
+    sim = Simulation(topo, config, traffic,
+                     halt_on_deadlock=(scheme is Scheme.NONE))
+    stats = sim.run(120_000)
+    return {
+        "configuration": label,
+        "vns": num_vns,
+        "completed": traffic.completed,
+        "quota": TXNS_PER_NODE * topo.num_nodes,
+        "cycles": stats.cycles,
+        "wedged": "YES" if sim.deadlocked else "no",
+        "avg_latency": stats.avg_latency if stats.latency.count else float("nan"),
+    }
+
+
+def main() -> None:
+    topo = inject_link_faults(make_mesh(4, 4), 4, random.Random(4))
+    print(f"Topology: {topo} | {TXNS_PER_NODE} transactions/node quota\n")
+    rows = [
+        run_case("no protection, shared VN", topo, Scheme.NONE, 1, 2),
+        run_case("DRAIN, shared VN", topo, Scheme.DRAIN, 1, 2),
+        run_case("DRAIN, shared VN, 1 VC", topo, Scheme.DRAIN, 1, 1),
+        run_case("escape VC + 3 VNs", topo, Scheme.ESCAPE_VC, 3, 2),
+        run_case("SPIN + 3 VNs", topo, Scheme.SPIN, 3, 2),
+    ]
+    print(
+        format_table(
+            rows,
+            columns=("configuration", "vns", "completed", "quota",
+                     "cycles", "wedged", "avg_latency"),
+            title="Coherence workload on a faulty 4x4 mesh",
+        )
+    )
+    print(
+        "\nWithout protection the shared virtual network wedges part-way "
+        "through. DRAIN finishes the full quota on the same single VN — "
+        "including with a single VC — which is what lets it drop two of "
+        "the three virtual networks the baselines must provision."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fault tolerance: DRAIN on progressively more damaged topologies.
+
+For each fault count the offline algorithm recomputes a drain path for the
+surviving topology (exactly what the paper proposes on a link failure or
+reboot), and the network keeps running with fully adaptive routing — no
+routing restrictions, no extra virtual networks.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import random
+
+from repro import (
+    DrainConfig,
+    NetworkConfig,
+    Scheme,
+    SimConfig,
+    Simulation,
+    find_drain_path,
+    inject_link_faults,
+    make_mesh,
+)
+from repro.experiments.common import format_table
+from repro.routing.updown import UpDownRouting
+from repro.network.index import FabricIndex
+from repro.traffic import SyntheticTraffic, UniformRandom
+
+
+def main() -> None:
+    base = make_mesh(8, 8)
+    rows = []
+    for faults in (0, 1, 4, 8, 12):
+        topo = (
+            inject_link_faults(base, faults, random.Random(faults + 100))
+            if faults
+            else base
+        )
+        # The offline algorithm (Section III-B): one cycle over all links.
+        path = find_drain_path(topo)
+        updown = UpDownRouting(FabricIndex(topo))
+
+        config = SimConfig(
+            scheme=Scheme.DRAIN,
+            network=NetworkConfig(num_vns=1, vcs_per_vn=2),
+            drain=DrainConfig(epoch=2048),
+        )
+        traffic = SyntheticTraffic(
+            UniformRandom(topo.num_nodes, 8), 0.05, random.Random(7)
+        )
+        sim = Simulation(topo, config, traffic, drain_path=path)
+        stats = sim.run(5_000, warmup=1_000)
+        rows.append(
+            {
+                "faults": faults,
+                "links_left": topo.num_edges,
+                "drain_path_len": len(path),
+                "diameter": topo.diameter(),
+                "avg_latency": stats.avg_latency,
+                "throughput": sim.throughput(),
+                "updown_detour": updown.non_minimality(),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            columns=(
+                "faults", "links_left", "drain_path_len", "diameter",
+                "avg_latency", "throughput", "updown_detour",
+            ),
+            title="DRAIN across random link-fault patterns (8x8 mesh, UR @ 0.05)",
+        )
+    )
+    print(
+        "\nThe drain path always covers every surviving link "
+        "(length = 2 x links_left), while the up*/down* alternative would "
+        "stretch routes by the detour factor in the last column."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Wear-out lifetime demo (Section II-D: deadlock-free faults).
+
+Links die one at a time over the chip's lifetime. After each failure the
+offline drain-path algorithm simply reruns on the surviving topology and
+the network keeps operating with fully adaptive routing — no routing-table
+deadlock re-verification, no boundary restrictions, no spare VCs.
+
+Run:  python examples/wearout_lifetime.py
+"""
+
+from repro.experiments.common import Scale, format_table
+from repro.experiments.lifetime import lifetime_study
+
+
+def main() -> None:
+    scale = Scale(warmup=500, measure=2_000, low_load_rate=0.03, epoch=2_048)
+    rows = lifetime_study(
+        total_failures=12, measure_every=3, mesh_width=8, scale=scale
+    )
+    print(
+        format_table(
+            rows,
+            columns=(
+                "failures", "links_left", "drain_path_length", "diameter",
+                "drain_latency", "updown_latency",
+            ),
+            title="Ageing 8x8 mesh: DRAIN vs up*/down* as links fail "
+                  "(uniform random @ 0.03)",
+        )
+    )
+    print(
+        "\nEvery row re-ran the offline algorithm on the surviving "
+        "topology; the drain path shrinks with the network (always "
+        "2 x surviving links) and service continues uninterrupted."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""DRAIN: Deadlock Removal for Arbitrary Irregular Networks (HPCA 2020).
+
+A full Python reproduction: a cycle-level NoC simulator, the DRAIN
+subactive deadlock-removal scheme, the escape-VC and SPIN baselines, a
+coherence-protocol traffic model, an analytical area/power model, and one
+experiment module per table/figure of the paper's evaluation.
+"""
+
+from .core.config import (
+    DrainConfig,
+    NetworkConfig,
+    ProtocolConfig,
+    Scheme,
+    SimConfig,
+    SpinConfig,
+    drain_default,
+)
+from .core.metrics import NetworkStats
+from .core.simulator import Simulation
+from .drain.controller import DrainController
+from .drain.path import DrainPath, find_drain_path
+from .router.packet import MessageClass, Packet
+from .topology.graph import Link, Topology
+from .topology.irregular import inject_link_faults, random_fault_patterns
+from .topology.mesh import make_mesh, make_ring, make_torus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Scheme",
+    "SimConfig",
+    "NetworkConfig",
+    "DrainConfig",
+    "SpinConfig",
+    "ProtocolConfig",
+    "drain_default",
+    "NetworkStats",
+    "Simulation",
+    "DrainPath",
+    "find_drain_path",
+    "DrainController",
+    "MessageClass",
+    "Packet",
+    "Link",
+    "Topology",
+    "make_mesh",
+    "make_torus",
+    "make_ring",
+    "inject_link_faults",
+    "random_fault_patterns",
+]

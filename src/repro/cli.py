@@ -1,0 +1,266 @@
+"""Command-line interface for the DRAIN reproduction.
+
+Subcommands:
+
+- ``repro-drain list`` — the available experiments (paper artefacts);
+- ``repro-drain experiment fig11`` — regenerate one artefact and print its
+  rows (``--scale full`` for paper-like sweep sizes);
+- ``repro-drain run`` — a single simulation with explicit knobs;
+- ``repro-drain drainpath`` — run the offline algorithm on a topology and
+  print the resulting drain path / turn-table summary.
+
+Topology specifiers: ``mesh:WxH``, ``torus:WxH``, ``ring:N``,
+``smallworld:N+S``, ``randomregular:NdD``, ``chiplet:CxWxH``; append
+``--faults K`` to remove K random links (connectivity preserved).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .core.config import DrainConfig, NetworkConfig, Scheme, SimConfig
+from .core.simulator import Simulation
+from .drain.path import find_drain_path
+from .drain.turntable import build_turn_tables
+from .experiments import (
+    common,
+    fig1_fig2_scenarios,
+    fig3_deadlock_likelihood,
+    fig4_vnet_power,
+    fig5_updown_gap,
+    fig9_area_power,
+    fig10_throughput,
+    fig11_latency,
+    fig12_ligra,
+    fig13_parsec,
+    fig14_epoch,
+    fig15_tail,
+    heterogeneous,
+    lifetime,
+    path_quality,
+    sensitivity,
+    table1_comparison,
+    table2_parameters,
+)
+from .topology.chiplet import make_chiplet_system
+from .topology.graph import Topology
+from .topology.irregular import inject_link_faults
+from .topology.mesh import make_mesh, make_ring, make_torus
+from .topology.randomized import make_random_regular, make_small_world
+from .traffic.synthetic import SyntheticTraffic, pattern_by_name
+
+__all__ = ["main", "parse_topology", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1_comparison.run,
+    "table2": table2_parameters.run,
+    "fig1-fig2": fig1_fig2_scenarios.run,
+    "fig3": fig3_deadlock_likelihood.run,
+    "fig4": fig4_vnet_power.run,
+    "fig5": fig5_updown_gap.run,
+    "fig9": fig9_area_power.run,
+    "fig9-moesi": fig9_area_power.moesi_comparison,
+    "fig10": fig10_throughput.run,
+    "fig11": fig11_latency.run,
+    "fig12": fig12_ligra.run,
+    "fig13": fig13_parsec.run,
+    "fig14": fig14_epoch.run,
+    "fig15": fig15_tail.run,
+    "section6": heterogeneous.run,
+    "lifetime": lifetime.run,
+    "path-quality": path_quality.run,
+    "sensitivity": sensitivity.run,
+}
+
+#: Experiments whose run() takes no Scale argument (analytical tables).
+_SCALELESS = {"table1", "table2", "fig9", "fig9-moesi"}
+
+
+def parse_topology(spec: str, faults: int = 0, seed: int = 1) -> Topology:
+    """Build a topology from a CLI specifier string."""
+    kind, _, arg = spec.partition(":")
+    rng = random.Random(seed)
+    if kind == "mesh" or kind == "torus":
+        try:
+            w, h = (int(v) for v in arg.split("x"))
+        except ValueError:
+            raise ValueError(f"bad {kind} spec {spec!r}; expected {kind}:WxH")
+        topo = make_mesh(w, h) if kind == "mesh" else make_torus(w, h)
+    elif kind == "ring":
+        topo = make_ring(int(arg))
+    elif kind == "smallworld":
+        try:
+            n, s = (int(v) for v in arg.split("+"))
+        except ValueError:
+            raise ValueError(f"bad spec {spec!r}; expected smallworld:N+S")
+        topo = make_small_world(n, s, rng)
+    elif kind == "randomregular":
+        try:
+            n, d = (int(v) for v in arg.split("d"))
+        except ValueError:
+            raise ValueError(f"bad spec {spec!r}; expected randomregular:NdD")
+        topo = make_random_regular(n, d, rng)
+    elif kind == "chiplet":
+        try:
+            c, w, h = (int(v) for v in arg.split("x"))
+        except ValueError:
+            raise ValueError(f"bad spec {spec!r}; expected chiplet:CxWxH")
+        topo = make_chiplet_system(w, h, num_chiplets=c).topology
+    else:
+        raise ValueError(
+            f"unknown topology kind {kind!r}; see repro-drain --help"
+        )
+    if faults:
+        topo = inject_link_faults(topo, faults, rng)
+    return topo
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("available experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try: repro-drain list",
+              file=sys.stderr)
+        return 2
+    fn = EXPERIMENTS[name]
+    if name in _SCALELESS:
+        rows = fn()
+    else:
+        scale = common.Scale.full() if args.scale == "full" else common.Scale.ci()
+        rows = fn(scale=scale)
+    printable = [
+        {k: v for k, v in row.items() if isinstance(v, (int, float, str, bool))}
+        for row in rows
+    ]
+    columns = list(printable[0].keys()) if printable else []
+    print(common.format_table(printable, columns=columns, title=name))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    topo = parse_topology(args.topology, faults=args.faults, seed=args.seed)
+    scheme = Scheme(args.scheme)
+    num_vns = args.vns if args.vns else (1 if scheme is Scheme.DRAIN else 3)
+    config = SimConfig(
+        scheme=scheme,
+        network=NetworkConfig(num_vns=num_vns, vcs_per_vn=args.vcs,
+                              packet_size_flits=args.packet_flits),
+        drain=DrainConfig(epoch=args.epoch),
+        seed=args.seed,
+    )
+    mesh_width = None
+    if args.topology.startswith("mesh:"):
+        mesh_width = int(args.topology.split(":")[1].split("x")[0])
+    traffic = SyntheticTraffic(
+        pattern_by_name(args.pattern, topo.num_nodes, mesh_width),
+        args.rate,
+        random.Random(args.seed),
+    )
+    sim = Simulation(topo, config, traffic, flow_control=args.flow_control)
+    stats = sim.run(args.cycles, warmup=args.warmup)
+    if args.report:
+        from .core.report import run_report
+
+        print(run_report(sim))
+        return 0
+    print(f"topology:        {topo.name} ({topo.num_nodes} nodes)")
+    print(f"scheme:          {scheme.value}  (VN={num_vns}, VC={args.vcs})")
+    print(f"cycles:          {stats.cycles} (warmup {args.warmup})")
+    print(f"packets:         {stats.packets_injected} injected, "
+          f"{stats.packets_ejected} delivered")
+    if stats.latency.count:
+        print(f"avg latency:     {stats.avg_latency:.2f} cycles")
+        print(f"p99 latency:     {stats.p99_latency:.2f} cycles")
+    print(f"throughput:      {sim.throughput():.4f} packets/node/cycle")
+    print(f"avg hops:        {stats.hops.mean:.2f}")
+    print(f"misroutes:       {stats.misroutes}")
+    print(f"drain windows:   {stats.drain_windows} "
+          f"(full drains: {stats.full_drains})")
+    print(f"deadlock events: {stats.deadlock_events}")
+    return 0
+
+
+def _cmd_drainpath(args: argparse.Namespace) -> int:
+    topo = parse_topology(args.topology, faults=args.faults, seed=args.seed)
+    path = find_drain_path(topo, method=args.method)
+    tables = build_turn_tables(path)
+    print(f"topology:   {topo.name}")
+    print(f"nodes:      {topo.num_nodes}")
+    print(f"links:      {topo.num_edges} bidirectional "
+          f"({2 * topo.num_edges} unidirectional)")
+    print(f"drain path: {len(path)} links (method: {args.method})")
+    print(f"turn-table entries: "
+          f"{sum(len(t) for t in tables.values())} across "
+          f"{len(tables)} routers")
+    if args.show_path:
+        print("path:", " -> ".join(str(l) for l in path.links))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-drain",
+        description="DRAIN (HPCA 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artefact")
+    p_exp.add_argument("name")
+    p_exp.add_argument("--scale", choices=("ci", "full"), default="ci")
+
+    p_run = sub.add_parser("run", help="run a single simulation")
+    p_run.add_argument("--topology", default="mesh:8x8")
+    p_run.add_argument("--faults", type=int, default=0)
+    p_run.add_argument("--scheme", default="drain",
+                       choices=[s.value for s in Scheme])
+    p_run.add_argument("--pattern", default="uniform_random")
+    p_run.add_argument("--rate", type=float, default=0.05)
+    p_run.add_argument("--cycles", type=int, default=5000)
+    p_run.add_argument("--warmup", type=int, default=1000)
+    p_run.add_argument("--vns", type=int, default=0,
+                       help="virtual networks (0 = scheme default)")
+    p_run.add_argument("--vcs", type=int, default=2)
+    p_run.add_argument("--epoch", type=int, default=2048)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--flow-control", choices=("vct", "wormhole"),
+                       default="vct")
+    p_run.add_argument("--packet-flits", type=int, default=1,
+                       help="VCT link-serialisation length in flits")
+    p_run.add_argument("--report", action="store_true",
+                       help="print a full run report (gem5 stats.txt style)")
+
+    p_path = sub.add_parser("drainpath", help="compute a drain path")
+    p_path.add_argument("--topology", default="mesh:8x8")
+    p_path.add_argument("--faults", type=int, default=0)
+    p_path.add_argument("--seed", type=int, default=1)
+    p_path.add_argument("--method", choices=("euler", "hawick-james"),
+                        default="euler")
+    p_path.add_argument("--show-path", action="store_true")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "run": _cmd_run,
+        "drainpath": _cmd_drainpath,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Core: configuration, metrics, RNG discipline and the simulation facade."""
+
+from .configio import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from .config import (
+    DrainConfig,
+    NetworkConfig,
+    ProtocolConfig,
+    Scheme,
+    SimConfig,
+    SpinConfig,
+    drain_default,
+)
+from .metrics import NetworkStats, RunningStats, SampleStats, percentile
+from .simulator import DeadlockWatchdog, IdealResolver, Simulation
+
+__all__ = [
+    "Scheme",
+    "SimConfig",
+    "NetworkConfig",
+    "DrainConfig",
+    "SpinConfig",
+    "ProtocolConfig",
+    "drain_default",
+    "NetworkStats",
+    "RunningStats",
+    "SampleStats",
+    "percentile",
+    "config_to_dict",
+    "config_from_dict",
+    "save_config",
+    "load_config",
+    "Simulation",
+    "IdealResolver",
+    "DeadlockWatchdog",
+]

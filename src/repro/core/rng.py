@@ -1,0 +1,35 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component of the simulator (traffic generators, fault
+injection, allocator tie-breaking) draws from a ``random.Random`` instance
+derived from a single experiment seed, so that every run is exactly
+reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["spawn", "derive_seed"]
+
+_MIX = 0x9E3779B97F4A7C15  # 64-bit golden-ratio constant for seed mixing
+
+
+def derive_seed(seed: int, *labels: object) -> int:
+    """Derive a child seed from *seed* and a sequence of labels.
+
+    Labels are hashed into the seed so that e.g. the traffic generator of
+    node 7 and the fault pattern of trial 3 never share a stream, while
+    remaining stable across runs.
+    """
+    value = seed & 0xFFFFFFFFFFFFFFFF
+    for label in labels:
+        value = (value ^ (hash(str(label)) & 0xFFFFFFFFFFFFFFFF)) & 0xFFFFFFFFFFFFFFFF
+        value = (value * _MIX + 1) & 0xFFFFFFFFFFFFFFFF
+        value ^= value >> 31
+    return value
+
+
+def spawn(seed: int, *labels: object) -> random.Random:
+    """Return a fresh ``random.Random`` seeded from *seed* and *labels*."""
+    return random.Random(derive_seed(seed, *labels))

@@ -1,0 +1,255 @@
+"""Top-level simulation facade: wire a topology, a scheme and a traffic
+source into a runnable cycle-level simulation.
+
+This is the main public entry point of the library::
+
+    from repro import Simulation, SimConfig, Scheme, make_mesh
+    from repro.traffic import SyntheticTraffic, UniformRandom
+    import random
+
+    topo = make_mesh(8, 8)
+    config = SimConfig(scheme=Scheme.DRAIN)
+    traffic = SyntheticTraffic(UniformRandom(64, 8), 0.05, random.Random(1))
+    sim = Simulation(topo, config, traffic)
+    stats = sim.run(cycles=10_000, warmup=2_000)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..drain.controller import DrainController
+from ..drain.path import DrainPath
+from ..network.deadlock import extract_cycle, find_deadlocked_slots, rotate_cycle
+from ..network.fabric import Fabric
+from ..network.index import FabricIndex
+from ..network.spin import SpinController
+from ..network.staticbubble import StaticBubbleController
+from ..routing.adaptive import AdaptiveMinimalRouting
+from ..routing.dor import DimensionOrderRouting
+from ..routing.updown import UpDownRouting
+from ..topology.graph import Topology
+from . import rng as rng_mod
+from .config import Scheme, SimConfig
+from .metrics import NetworkStats
+
+__all__ = ["Simulation", "IdealResolver", "DeadlockWatchdog"]
+
+
+class IdealResolver:
+    """Oracle deadlock resolution at zero cost (Figure 5's ideal baseline).
+
+    Periodically finds all deadlocked packets and rotates their cycles
+    until none remain — instantly, without freezing the network or
+    charging probe latency. No real hardware can do this; it upper-bounds
+    what fully adaptive routing could achieve.
+    """
+
+    def __init__(self, fabric: Fabric, check_interval: int = 2) -> None:
+        self.fabric = fabric
+        self.check_interval = max(1, check_interval)
+
+    def step(self) -> None:
+        fabric = self.fabric
+        if fabric.cycle % self.check_interval:
+            return
+        # Resolve aggressively: the bound must never be deadlock-limited,
+        # even deep past saturation. Each pass rotates one resource cycle;
+        # rotation changes the wait-for graph, so re-extract until clean.
+        for _ in range(256):  # safety bound
+            deadlocked = find_deadlocked_slots(fabric)
+            if not deadlocked:
+                return
+            cycle = extract_cycle(fabric, deadlocked)
+            if cycle is None:
+                return
+            fabric.stats.deadlock_events += 1
+            rotate_cycle(fabric, cycle, forced_kind="ideal")
+
+
+class DeadlockWatchdog:
+    """Measurement-only deadlock detector for the ``NONE`` scheme.
+
+    Used by the Figure 3 deadlock-likelihood study: when the network makes
+    no progress for a grace period, the exact OR-model oracle is consulted;
+    a non-empty deadlocked set marks the run as deadlocked.
+    """
+
+    def __init__(self, fabric: Fabric, check_interval: int, grace: int) -> None:
+        self.fabric = fabric
+        self.check_interval = max(1, check_interval)
+        self.grace = grace
+        self.deadlocked = False
+
+    def step(self) -> None:
+        fabric = self.fabric
+        if self.deadlocked or fabric.cycle % self.check_interval:
+            return
+        occupancy = getattr(fabric, "packets_in_network", None)
+        if occupancy is None:
+            occupancy = fabric.count_flits()  # wormhole fabric
+        if occupancy == 0:
+            return
+        if fabric.cycle - fabric.last_progress_cycle < self.grace:
+            return
+        if hasattr(fabric, "occupied_slots"):
+            stuck = find_deadlocked_slots(fabric, assume_ejection_drains=False)
+            if not stuck:
+                return
+            fabric.stats.deadlocks_detected += len(stuck)
+        # Wormhole fabric: persistent zero progress with flits buffered is
+        # the deadlock signal (no exact oracle over flit FIFOs).
+        self.deadlocked = True
+        fabric.stats.deadlock_events += 1
+
+
+class Simulation:
+    """A fully wired simulation of one (topology, scheme, traffic) triple."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SimConfig,
+        traffic,
+        drain_path: Optional[DrainPath] = None,
+        halt_on_deadlock: bool = False,
+        flow_control: str = "vct",
+        flits_per_packet: int = 4,
+    ) -> None:
+        if flow_control not in ("vct", "wormhole"):
+            raise ValueError("flow_control must be 'vct' or 'wormhole'")
+        self.topology = topology
+        self.config = config
+        self.traffic = traffic
+        self.halt_on_deadlock = halt_on_deadlock
+        self.flow_control = flow_control
+        self.index = FabricIndex(topology)
+        self.stats = NetworkStats()
+        scheme = config.scheme
+        if flow_control == "wormhole" and scheme not in (
+            Scheme.DRAIN, Scheme.NONE
+        ):
+            raise ValueError(
+                "the wormhole fabric models the DRAIN and NONE schemes only "
+                "(the paper evaluates the baselines under virtual cut-through)"
+            )
+
+        # Main routing function (Table II: fully adaptive random everywhere
+        # except the pure up*/down* baseline).
+        if scheme is Scheme.UPDOWN:
+            # The classic deterministic variant: this is the baseline whose
+            # cost Figure 5 quantifies.
+            routing = UpDownRouting(self.index, deterministic=True)
+        else:
+            routing = AdaptiveMinimalRouting(self.index)
+
+        escape_mode = None
+        escape_routing = None
+        if scheme is Scheme.DRAIN:
+            escape_mode = "drain"
+        elif scheme is Scheme.ESCAPE_VC:
+            escape_mode = "escape_vc"
+            # DOR on the fault-free mesh, up*/down* on irregular topologies
+            # (Section V-B's configuration).
+            try:
+                escape_routing = DimensionOrderRouting(self.index)
+            except ValueError:
+                escape_routing = UpDownRouting(self.index)
+
+        if flow_control == "wormhole":
+            from ..network.wormhole import WormholeFabric
+
+            self.fabric = WormholeFabric(
+                self.index,
+                config,
+                routing,
+                escape_mode=escape_mode,
+                flits_per_packet=flits_per_packet,
+                stats=self.stats,
+                rng=rng_mod.spawn(config.seed, "fabric"),
+            )
+        else:
+            self.fabric = Fabric(
+                self.index,
+                config,
+                routing,
+                escape_mode=escape_mode,
+                escape_routing=escape_routing,
+                stats=self.stats,
+                rng=rng_mod.spawn(config.seed, "fabric"),
+            )
+
+        self.drain_controller: Optional[DrainController] = None
+        self.spin_controller: Optional[SpinController] = None
+        self.bubble_controller: Optional[StaticBubbleController] = None
+        self.ideal_resolver: Optional[IdealResolver] = None
+        self.watchdog: Optional[DeadlockWatchdog] = None
+
+        if scheme is Scheme.DRAIN:
+            self.drain_controller = DrainController(
+                self.fabric, config.drain, path=drain_path
+            )
+        elif scheme is Scheme.SPIN:
+            self.spin_controller = SpinController(
+                self.fabric, config.spin, check_interval=config.deadlock_check_interval
+            )
+        elif scheme is Scheme.STATIC_BUBBLE:
+            self.bubble_controller = StaticBubbleController(
+                self.fabric, config.spin,
+                check_interval=config.deadlock_check_interval,
+            )
+        elif scheme is Scheme.IDEAL:
+            self.ideal_resolver = IdealResolver(self.fabric)
+        if scheme in (Scheme.NONE, Scheme.SPIN) or halt_on_deadlock:
+            self.watchdog = DeadlockWatchdog(
+                self.fabric,
+                config.deadlock_check_interval,
+                config.deadlock_grace,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def deadlocked(self) -> bool:
+        """True when the measurement watchdog has flagged a deadlock."""
+        return self.watchdog is not None and self.watchdog.deadlocked
+
+    def step(self) -> None:
+        """Advance the whole system by one cycle."""
+        fabric = self.fabric
+        self.traffic.generate(fabric, fabric.cycle)
+        if self.drain_controller is not None:
+            self.drain_controller.step()
+        if self.spin_controller is not None:
+            self.spin_controller.step()
+        if self.bubble_controller is not None:
+            self.bubble_controller.step()
+        if self.ideal_resolver is not None:
+            self.ideal_resolver.step()
+        if self.watchdog is not None:
+            self.watchdog.step()
+        fabric.step()
+        self.traffic.consume(fabric, fabric.cycle)
+
+    def run(self, cycles: int, warmup: int = 0) -> NetworkStats:
+        """Run for *cycles* cycles; statistics cover cycles >= *warmup*.
+
+        Stops early when the traffic source reports completion (closed-loop
+        workloads) or — with ``halt_on_deadlock`` — when the watchdog fires.
+        """
+        if warmup >= cycles:
+            raise ValueError("warmup must be shorter than the run")
+        fabric = self.fabric
+        fabric.measure_from = fabric.cycle + warmup
+        start = fabric.cycle
+        for _ in range(cycles):
+            self.step()
+            if self.traffic.done():
+                break
+            if self.halt_on_deadlock and self.deadlocked:
+                break
+        self.stats.measured_cycles = max(0, fabric.cycle - fabric.measure_from)
+        return self.stats
+
+    def throughput(self) -> float:
+        """Received packets/node/cycle over the measured window."""
+        return self.stats.throughput(self.index.num_nodes)

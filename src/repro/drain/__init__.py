@@ -1,0 +1,34 @@
+"""DRAIN: the paper's primary contribution — path algorithm and controller."""
+
+from .analysis import (
+    drain_overhead_fraction,
+    misroute_expectation,
+    path_report,
+    router_visit_counts,
+)
+from .controller import DrainController
+from .hawick_james import count_circuits, elementary_circuits, find_circuit
+from .path import (
+    DrainPath,
+    euler_drain_path,
+    find_drain_path,
+    hawick_james_drain_path,
+)
+from .turntable import TurnTable, build_turn_tables
+
+__all__ = [
+    "DrainPath",
+    "find_drain_path",
+    "euler_drain_path",
+    "hawick_james_drain_path",
+    "TurnTable",
+    "build_turn_tables",
+    "DrainController",
+    "misroute_expectation",
+    "router_visit_counts",
+    "drain_overhead_fraction",
+    "path_report",
+    "elementary_circuits",
+    "find_circuit",
+    "count_circuits",
+]

@@ -1,0 +1,145 @@
+"""The DRAIN runtime controller (Section III-C).
+
+Three microarchitectural pieces from Figure 7 of the paper are modelled:
+
+- the **epoch register**: a countdown shared by all routers that decides
+  when to pre-drain and drain (values loaded at boot);
+- the **credit freeze**: during the pre-drain and drain windows no new VC
+  or switch allocations happen, so nothing is mid-link when packets are
+  forced to move;
+- the **turn-table**: per-router input-port -> output-port drain turns,
+  i.e. the drain path restricted to the router.
+
+During each drain window every packet occupying an escape VC (VC 0 of each
+virtual network) moves one hop along the drain path, in unison — the path
+is a single cycle over all links, so the rotation is a permutation and
+never needs a free buffer. Packets arriving at their destination router
+during the drain eject immediately if their ejection queue has space.
+
+Once every ``full_drain_period`` windows a **full drain** rotates the whole
+path length, guaranteeing every escape packet visits every router and can
+eject — the livelock/starvation backstop of Section III-D3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.config import DrainConfig
+from ..network.fabric import Fabric
+from ..topology.graph import Topology
+from .path import DrainPath, find_drain_path
+from .turntable import TurnTable, build_turn_tables
+
+__all__ = ["DrainController"]
+
+
+class DrainController:
+    """Epoch-driven drain state machine attached to a fabric."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        config: DrainConfig,
+        path: Optional[DrainPath] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.config = config
+        topology: Topology = fabric.index.topology
+        self.path = path if path is not None else find_drain_path(topology)
+        if self.path.topology is not topology:
+            # Paths may be precomputed; they must describe the same topology.
+            self.path.validate()
+        self.turn_tables = build_turn_tables(self.path)
+        index = fabric.index
+        #: drain path as port ids, in cycle order.
+        self.path_ports: List[int] = [index.link_id[l] for l in self.path.links]
+        self._countdown = config.epoch
+        self._state = "normal"  # normal | pre_drain | drain | full_drain
+        self._window_left = 0
+        self._windows_done = 0
+        self._full_steps_left = 0
+        #: Cycles the pre-drain freeze had to stretch beyond its window to
+        #: let serialised (multi-flit) transfers land.
+        self.pre_drain_extensions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def turn_table(self, router: int) -> TurnTable:
+        return self.turn_tables[router]
+
+    def step(self) -> None:
+        """Advance the drain state machine by one cycle.
+
+        Must be called once per fabric cycle *before* the fabric's own
+        stages; it sets ``fabric.frozen`` for the cycles it owns.
+        """
+        fabric = self.fabric
+        if self._state == "normal":
+            self._countdown -= 1
+            if self._countdown > 0:
+                return
+            fabric.frozen = True
+            if self.config.pre_drain_window > 0 or fabric.transfers_in_flight():
+                self._state = "pre_drain"
+                self._window_left = self.config.pre_drain_window
+            else:
+                self._enter_drain()
+            return
+
+        if self._state == "pre_drain":
+            self._window_left -= 1
+            if self._window_left <= 0:
+                if fabric.transfers_in_flight():
+                    # The pre-drain window was sized below the maximum
+                    # packet's serialisation latency; hold the freeze until
+                    # every in-flight transfer has landed (Section III-C2).
+                    self.pre_drain_extensions += 1
+                    return
+                self._enter_drain()
+            return
+
+        if self._state == "drain":
+            if self._window_left == self.config.drain_window:
+                # First cycle of the window: perform the forced movement.
+                for _ in range(self.config.hops_per_drain):
+                    self._rotate_once()
+            self._window_left -= 1
+            if self._window_left <= 0:
+                self._finish_window()
+            return
+
+        # full_drain: one rotation per cycle until the whole path has cycled.
+        self._rotate_once()
+        self._full_steps_left -= 1
+        if self._full_steps_left <= 0:
+            self._finish_window()
+
+    # ------------------------------------------------------------------
+    def _enter_drain(self) -> None:
+        self._windows_done += 1
+        self.fabric.stats.drain_windows += 1
+        if self._windows_done % self.config.full_drain_period == 0:
+            self._state = "full_drain"
+            self._full_steps_left = len(self.path_ports)
+            self.fabric.stats.full_drains += 1
+        else:
+            self._state = "drain"
+            self._window_left = self.config.drain_window
+
+    def _finish_window(self) -> None:
+        self._state = "normal"
+        self._countdown = self.config.epoch
+        self.fabric.frozen = False
+
+    def _rotate_once(self) -> None:
+        """Move every escape-VC packet one hop along the drain path.
+
+        Delegates to the fabric, which knows its own buffer organisation
+        (whole packets under virtual cut-through, flit FIFOs with packet
+        truncation under wormhole — Section III-C3).
+        """
+        self.fabric.drain_rotate_escape(self.path_ports)

@@ -1,0 +1,175 @@
+"""Offline drain-path construction (Section III-B).
+
+A *drain path* is a single elementary cycle in the channel-dependency graph
+that covers **every** unidirectional link of the topology exactly once. The
+paper's existence argument (Section III-A) boils down to a classic fact:
+because every bidirectional link contributes two opposing unidirectional
+links, every router has equal in-degree and out-degree in the directed link
+graph, and the graph is strongly connected; hence an Eulerian circuit over
+all unidirectional links exists, and that circuit *is* the drain path.
+
+Two construction engines are provided:
+
+- :func:`find_drain_path` (default ``method="euler"``): Hierholzer's
+  algorithm, linear time, guaranteed to succeed on any topology satisfying
+  the paper's assumptions. This mirrors the paper's spanning-tree/DFS
+  existence construction but covers non-tree links too.
+- ``method="hawick-james"``: the paper's described search — enumerate
+  elementary circuits of the dependency graph and stop at the first one
+  covering all links. Exponential in the worst case; used for small
+  topologies and for validating the Euler engine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..topology.dependency import DependencyGraph, build_dependency_graph
+from ..topology.graph import Link, Topology
+from .hawick_james import find_circuit
+
+__all__ = ["DrainPath", "find_drain_path", "euler_drain_path", "hawick_james_drain_path"]
+
+
+class DrainPath:
+    """An ordered cycle of unidirectional links covering the whole topology.
+
+    ``links[i]`` is followed by ``links[(i+1) % n]``; consecutive links meet
+    at a router (``links[i].dst == links[i+1].src``), so the cycle encodes,
+    for every link, the turn a drained packet must take.
+    """
+
+    def __init__(self, topology: Topology, links: Sequence[Link]) -> None:
+        self.topology = topology
+        self.links: List[Link] = list(links)
+        self._next: Dict[Link, Link] = {}
+        self._position: Dict[Link, int] = {}
+        n = len(self.links)
+        for i, link in enumerate(self.links):
+            self._next[link] = self.links[(i + 1) % n]
+            self._position[link] = i
+        self.validate()
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    def __contains__(self, link: Link) -> bool:
+        return link in self._next
+
+    def next_link(self, link: Link) -> Link:
+        """The link a drained packet arriving on *link* is forced onto."""
+        return self._next[link]
+
+    def position(self, link: Link) -> int:
+        """Index of *link* within the cycle."""
+        return self._position[link]
+
+    def routers_visited(self) -> List[int]:
+        """Router sequence traversed by the drain path (with repetition)."""
+        return [link.src for link in self.links]
+
+    def validate(self) -> None:
+        """Check all drain-path invariants; raise ``ValueError`` on violation.
+
+        Invariants (Section III-B): the path is a single elementary cycle in
+        the dependency graph — consecutive links connect via a legal turn —
+        and it covers every unidirectional link of the topology exactly once.
+        """
+        expected = set(self.topology.unidirectional_links())
+        if not self.links:
+            raise ValueError("drain path is empty")
+        seen = set(self.links)
+        if len(seen) != len(self.links):
+            raise ValueError("drain path visits some link more than once")
+        if seen != expected:
+            missing = expected - seen
+            extra = seen - expected
+            raise ValueError(
+                f"drain path does not cover the topology exactly: "
+                f"missing={sorted(map(str, missing))[:4]} extra={sorted(map(str, extra))[:4]}"
+            )
+        n = len(self.links)
+        for i, link in enumerate(self.links):
+            nxt = self.links[(i + 1) % n]
+            if link.dst != nxt.src:
+                raise ValueError(
+                    f"drain path breaks at position {i}: {link} does not "
+                    f"connect to {nxt}"
+                )
+
+    def __repr__(self) -> str:
+        return f"DrainPath({self.topology.name}, length={len(self.links)})"
+
+
+def euler_drain_path(
+    topology: Topology, rng: Optional[random.Random] = None
+) -> DrainPath:
+    """Construct a drain path via Hierholzer's Eulerian-circuit algorithm.
+
+    Runs in time linear in the number of links. *rng*, when given, shuffles
+    edge exploration order so different (equally valid) drain paths can be
+    sampled — useful for the path-shape ablation benchmarks.
+    """
+    if not topology.is_connected():
+        raise ValueError("drain path requires a connected topology")
+    # Outgoing-arc stacks per router; each unidirectional link used once.
+    out_arcs: Dict[int, List[int]] = {
+        n: list(topology.neighbors(n)) for n in topology.nodes
+    }
+    if rng is not None:
+        for arcs in out_arcs.values():
+            rng.shuffle(arcs)
+    start = 0
+    circuit: List[int] = []  # router sequence, built back-to-front
+    stack: List[int] = [start]
+    while stack:
+        node = stack[-1]
+        if out_arcs[node]:
+            stack.append(out_arcs[node].pop())
+        else:
+            circuit.append(stack.pop())
+    circuit.reverse()
+    links = [Link(circuit[i], circuit[i + 1]) for i in range(len(circuit) - 1)]
+    return DrainPath(topology, links)
+
+
+def hawick_james_drain_path(
+    topology: Topology, max_circuits: Optional[int] = None
+) -> DrainPath:
+    """Construct a drain path by elementary-circuit search (paper's method).
+
+    Enumerates elementary circuits of the channel-dependency graph with the
+    Hawick-James method and stops at the first circuit covering all links.
+    Worst-case exponential; intended for small topologies and validation.
+    """
+    graph: DependencyGraph = build_dependency_graph(topology, allow_u_turns=True)
+    adjacency = graph.adjacency_indices()
+    total = graph.num_links
+
+    circuit = find_circuit(
+        adjacency,
+        predicate=lambda circ: len(circ) == total,
+        max_circuits=max_circuits,
+    )
+    if circuit is None:
+        raise ValueError(
+            f"no covering circuit found for {topology.name} "
+            f"(searched up to {max_circuits} circuits)"
+        )
+    links = [graph.links[i] for i in circuit]
+    return DrainPath(topology, links)
+
+
+def find_drain_path(
+    topology: Topology,
+    method: str = "euler",
+    rng: Optional[random.Random] = None,
+    max_circuits: Optional[int] = None,
+) -> DrainPath:
+    """Find a drain path for *topology* using the requested engine."""
+    if method == "euler":
+        return euler_drain_path(topology, rng=rng)
+    if method == "hawick-james":
+        return hawick_james_drain_path(topology, max_circuits=max_circuits)
+    raise ValueError(f"unknown drain-path method {method!r}")

@@ -1,0 +1,67 @@
+"""Per-router turn-tables derived from a drain path (Section III-C3).
+
+At runtime each router only needs to know, for each of its input ports
+(i.e. each incoming unidirectional link), which output port a drained
+packet must turn onto. That mapping is exactly the drain path restricted
+to the router, and it is what the hardware stores in its turn-table
+registers, configured at boot or after the offline algorithm reruns on a
+fault.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..topology.graph import Link, Topology
+from .path import DrainPath
+
+__all__ = ["TurnTable", "build_turn_tables"]
+
+
+class TurnTable:
+    """Drain turn-table of a single router: input link -> output link."""
+
+    def __init__(self, router: int, turns: Dict[Link, Link]) -> None:
+        self.router = router
+        self._turns = dict(turns)
+        for in_link, out_link in self._turns.items():
+            if in_link.dst != router or out_link.src != router:
+                raise ValueError(
+                    f"turn {in_link} -> {out_link} does not pass through "
+                    f"router {router}"
+                )
+
+    def output_for(self, in_link: Link) -> Link:
+        """Output link a packet arriving on *in_link* is drained onto."""
+        return self._turns[in_link]
+
+    def input_links(self) -> List[Link]:
+        return sorted(self._turns)
+
+    def __len__(self) -> int:
+        return len(self._turns)
+
+    def __repr__(self) -> str:
+        return f"TurnTable(router={self.router}, entries={len(self)})"
+
+
+def build_turn_tables(path: DrainPath) -> Dict[int, TurnTable]:
+    """Split *path* into one :class:`TurnTable` per router.
+
+    Every router appears (its input links are all on the path), and every
+    input link of every router has exactly one entry — the drain path covers
+    each unidirectional link exactly once.
+    """
+    topology: Topology = path.topology
+    per_router: Dict[int, Dict[Link, Link]] = {n: {} for n in topology.nodes}
+    for link in path.links:
+        per_router[link.dst][link] = path.next_link(link)
+    tables = {n: TurnTable(n, turns) for n, turns in per_router.items()}
+    for n, table in tables.items():
+        expected = set(topology.links_into(n))
+        if set(table.input_links()) != expected:
+            raise ValueError(
+                f"turn-table of router {n} misses input links: "
+                f"{expected - set(table.input_links())}"
+            )
+    return tables

@@ -1,0 +1,54 @@
+"""Experiment modules: one per table/figure of the paper's evaluation.
+
+Each module exposes ``run(scale=None) -> List[dict]`` returning the rows of
+the corresponding paper artefact. ``common.Scale`` controls sweep sizes
+(``REPRO_SCALE=full`` for paper-scale runs).
+"""
+
+from . import (
+    applications,
+    common,
+    fig1_fig2_scenarios,
+    heterogeneous,
+    lifetime,
+    path_quality,
+    sensitivity,
+    fig3_deadlock_likelihood,
+    fig4_vnet_power,
+    fig5_updown_gap,
+    fig9_area_power,
+    fig10_throughput,
+    fig11_latency,
+    fig12_ligra,
+    fig13_parsec,
+    fig14_epoch,
+    fig15_tail,
+    table1_comparison,
+    table2_parameters,
+)
+from .common import Scale, current_scale, format_table
+
+__all__ = [
+    "Scale",
+    "current_scale",
+    "format_table",
+    "common",
+    "applications",
+    "fig1_fig2_scenarios",
+    "heterogeneous",
+    "lifetime",
+    "path_quality",
+    "sensitivity",
+    "fig3_deadlock_likelihood",
+    "fig4_vnet_power",
+    "fig5_updown_gap",
+    "fig9_area_power",
+    "fig10_throughput",
+    "fig11_latency",
+    "fig12_ligra",
+    "fig13_parsec",
+    "fig14_epoch",
+    "fig15_tail",
+    "table1_comparison",
+    "table2_parameters",
+]

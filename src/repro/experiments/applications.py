@@ -1,0 +1,148 @@
+"""Shared engine for the application studies (Figures 12, 13 and 15).
+
+Runs a coherence-protocol workload to completion (a fixed number of
+transactions per node) under every evaluated configuration:
+
+- escape VCs, VN-3 / VC-2 (the normalisation baseline);
+- SPIN, VN-3 / VC-2;
+- DRAIN VN-3 / VC-2 (same virtual networks as the baselines);
+- DRAIN VN-1 / VC-6 (same total VCs as the baselines);
+- DRAIN VN-1 / VC-2 (the paper's default configuration).
+
+Reported per configuration: average packet latency, 99th-percentile
+latency (Figure 15) and runtime (cycles to complete the transaction
+quota — the paper's application-runtime bars), all normalisable against
+the escape-VC baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import Scheme
+from ..core.simulator import Simulation
+from ..topology.graph import Topology
+from ..topology.irregular import random_fault_patterns
+from ..topology.mesh import make_mesh
+from ..traffic.workloads import WorkloadProfile, make_workload_traffic
+from .common import Scale, current_scale, scheme_config
+
+__all__ = ["AppConfig", "APP_CONFIGS", "run_application", "application_study"]
+
+
+@dataclass(frozen=True)
+class AppConfig:
+    """One evaluated network configuration."""
+
+    label: str
+    scheme: Scheme
+    num_vns: int
+    vcs_per_vn: int
+
+
+APP_CONFIGS: Tuple[AppConfig, ...] = (
+    AppConfig("escape_vc", Scheme.ESCAPE_VC, 3, 2),
+    AppConfig("spin", Scheme.SPIN, 3, 2),
+    AppConfig("drain_vn3_vc2", Scheme.DRAIN, 3, 2),
+    AppConfig("drain_vn1_vc6", Scheme.DRAIN, 1, 6),
+    AppConfig("drain_vn1_vc2", Scheme.DRAIN, 1, 2),
+)
+
+
+def run_application(
+    workload: WorkloadProfile,
+    topology: Topology,
+    app_config: AppConfig,
+    scale: Scale,
+    seed: int = 1,
+    mesh_width: Optional[int] = None,
+) -> Dict:
+    """One workload run under one configuration; returns headline metrics."""
+    config = scheme_config(
+        app_config.scheme,
+        scale,
+        num_vns=app_config.num_vns,
+        vcs_per_vn=app_config.vcs_per_vn,
+        seed=seed,
+    )
+    total_txns = scale.app_transactions_per_node * topology.num_nodes
+    traffic = make_workload_traffic(
+        workload,
+        topology.num_nodes,
+        random.Random(seed * 5557 + 11),
+        total_transactions=total_txns,
+        mesh_width=mesh_width,
+    )
+    sim = Simulation(topology, config, traffic)
+    stats = sim.run(scale.app_max_cycles)
+    completed = traffic.completed
+    return {
+        "config": app_config.label,
+        "workload": workload.name,
+        "latency": stats.avg_latency,
+        "p99_latency": stats.latency.percentile(99.0) if stats.latency.samples else 0.0,
+        "runtime": stats.cycles,
+        "completed": completed,
+        "finished": traffic.done(),
+        "deadlock_events": stats.deadlock_events,
+    }
+
+
+def application_study(
+    workloads: Sequence[WorkloadProfile],
+    faults: Sequence[int] = (0, 8),
+    scale: Optional[Scale] = None,
+    mesh_width: int = 8,
+    configs: Sequence[AppConfig] = APP_CONFIGS,
+    seed: int = 1,
+) -> List[Dict]:
+    """Full Figure 12/13-style study: one row per (workload, faults, config).
+
+    Each row carries ``norm_latency`` and ``norm_runtime`` relative to the
+    escape-VC baseline of the same (workload, faults) cell.
+    """
+    scale = scale if scale is not None else current_scale()
+    base = make_mesh(mesh_width, mesh_width)
+    rows: List[Dict] = []
+    for num_faults in faults:
+        if num_faults:
+            topologies = random_fault_patterns(
+                base, num_faults, min(scale.fault_patterns, 2), seed=seed + 41
+            )
+        else:
+            topologies = [base]
+        for workload in workloads:
+            per_config: Dict[str, Dict] = {}
+            for app_config in configs:
+                metrics = [
+                    run_application(
+                        workload, topo, app_config, scale,
+                        seed=seed + i, mesh_width=mesh_width,
+                    )
+                    for i, topo in enumerate(topologies)
+                ]
+                agg = {
+                    "config": app_config.label,
+                    "workload": workload.name,
+                    "faults": num_faults,
+                    "latency": _mean(m["latency"] for m in metrics),
+                    "p99_latency": _mean(m["p99_latency"] for m in metrics),
+                    "runtime": _mean(m["runtime"] for m in metrics),
+                    "finished": all(m["finished"] for m in metrics),
+                }
+                per_config[app_config.label] = agg
+            baseline = per_config.get("escape_vc")
+            for agg in per_config.values():
+                if baseline and baseline["latency"]:
+                    agg["norm_latency"] = agg["latency"] / baseline["latency"]
+                if baseline and baseline["runtime"]:
+                    agg["norm_runtime"] = agg["runtime"] / baseline["runtime"]
+                rows.append(agg)
+    return rows
+
+
+def _mean(values) -> float:
+    items = list(values)
+    return sum(items) / len(items) if items else 0.0

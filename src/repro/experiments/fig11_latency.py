@@ -1,0 +1,56 @@
+"""Figure 11: low-load packet latency vs faults for the three schemes.
+
+Expected shape: DRAIN matches SPIN (at low load deadlocks are extremely
+rare, so the subactive machinery is idle); both beat escape VCs, whose
+up*/down* escape routing forces non-minimal paths; latency rises with
+faults for every scheme as path diversity shrinks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import Scheme
+from ..topology.mesh import make_mesh
+from .common import Scale, averaged_over_faults, current_scale, low_load_latency
+
+__all__ = ["latency_vs_faults", "run"]
+
+DEFAULT_FAULTS: Sequence[int] = (0, 1, 4, 8, 12)
+SCHEMES = (Scheme.ESCAPE_VC, Scheme.SPIN, Scheme.DRAIN)
+
+
+def latency_vs_faults(
+    faults: Sequence[int] = DEFAULT_FAULTS,
+    patterns: Sequence[str] = ("uniform_random", "transpose"),
+    scale: Optional[Scale] = None,
+    mesh_width: int = 8,
+) -> List[Dict]:
+    """Low-load average latency per (pattern, fault count, scheme)."""
+    scale = scale if scale is not None else current_scale()
+    base = make_mesh(mesh_width, mesh_width)
+    rows: List[Dict] = []
+    for pattern in patterns:
+        for num_faults in faults:
+            row: Dict = {"pattern": pattern, "faults": num_faults}
+            for scheme in SCHEMES:
+                row[scheme.value] = averaged_over_faults(
+                    base,
+                    num_faults,
+                    scale,
+                    lambda topo, trial: low_load_latency(
+                        topo,
+                        scheme,
+                        scale,
+                        pattern=pattern,
+                        mesh_width=mesh_width,
+                        seed=trial + 1,
+                    ),
+                )
+            rows.append(row)
+    return rows
+
+
+def run(scale: Optional[Scale] = None) -> List[Dict]:
+    """Regenerate Figure 11."""
+    return latency_vs_faults(scale=scale)

@@ -1,0 +1,30 @@
+"""Figure 12: Ligra workloads on a 64-core 8x8 mesh (0 and 8 faults).
+
+Packet latency and application runtime, normalised to the escape-VC
+baseline, for SPIN and the three DRAIN configurations.
+
+Expected shape: DRAIN and SPIN achieve similar latency and runtime;
+DRAIN's default VN-1/VC-2 configuration shows somewhat higher packet
+latency (it has a third of the baselines' VCs) without hurting runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..traffic.workloads import LIGRA
+from .applications import application_study
+from .common import Scale, current_scale
+
+__all__ = ["run"]
+
+
+def run(
+    scale: Optional[Scale] = None,
+    faults: Sequence[int] = (0, 8),
+    workloads=None,
+) -> List[Dict]:
+    """Regenerate Figure 12 (Ligra, 8x8 mesh)."""
+    scale = scale if scale is not None else current_scale()
+    selected = workloads if workloads is not None else LIGRA
+    return application_study(selected, faults=faults, scale=scale, mesh_width=8)

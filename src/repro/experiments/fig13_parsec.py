@@ -1,0 +1,28 @@
+"""Figure 13: PARSEC/SPLASH-2 workloads on a 16-core 4x4 mesh (0 and 8 faults).
+
+Same methodology as Figure 12 but on the smaller system the paper uses for
+the x86 workloads (Table II: 16 cores, 4x4 irregular mesh).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..traffic.workloads import PARSEC, SPLASH2
+from .applications import application_study
+from .common import Scale, current_scale
+
+__all__ = ["run"]
+
+
+def run(
+    scale: Optional[Scale] = None,
+    faults: Sequence[int] = (0, 8),
+    workloads=None,
+    include_splash2: bool = False,
+) -> List[Dict]:
+    """Regenerate Figure 13 (PARSEC, optionally with SPLASH-2, 4x4 mesh)."""
+    scale = scale if scale is not None else current_scale()
+    if workloads is None:
+        workloads = list(PARSEC) + (list(SPLASH2) if include_splash2 else [])
+    return application_study(workloads, faults=faults, scale=scale, mesh_width=4)

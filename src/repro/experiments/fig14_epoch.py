@@ -1,0 +1,73 @@
+"""Figure 14: sensitivity of DRAIN to the drain epoch (16 .. 64K cycles).
+
+Uniform random traffic on the 8x8 mesh. Expected shape: a 16-cycle epoch
+continuously flushes the drain path — frequent misrouting wrecks both
+low-load latency and saturation throughput; both improve monotonically
+(then flatten) as the epoch grows, because deadlocks are too rare to need
+frequent draining.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import Scheme
+from ..topology.mesh import make_mesh
+from .common import (
+    Scale,
+    current_scale,
+    run_synthetic,
+    saturation_throughput,
+)
+
+__all__ = ["epoch_sensitivity", "run"]
+
+DEFAULT_EPOCHS: Sequence[int] = (16, 64, 256, 1024, 4096, 16384, 65536)
+
+
+def epoch_sensitivity(
+    epochs: Sequence[int] = DEFAULT_EPOCHS,
+    scale: Optional[Scale] = None,
+    mesh_width: int = 8,
+    seed: int = 1,
+) -> List[Dict]:
+    """Low-load latency and saturation throughput per epoch value."""
+    scale = scale if scale is not None else current_scale()
+    topo = make_mesh(mesh_width, mesh_width)
+    rows: List[Dict] = []
+    for epoch in epochs:
+        epoch_scale = _with_epoch(scale, epoch)
+        low = run_synthetic(
+            topo, Scheme.DRAIN, scale.low_load_rate, epoch_scale,
+            mesh_width=mesh_width, seed=seed,
+        )
+        sweep = [
+            run_synthetic(
+                topo, Scheme.DRAIN, rate, epoch_scale,
+                mesh_width=mesh_width, seed=seed,
+            )
+            for rate in scale.sweep_rates
+        ]
+        rows.append(
+            {
+                "epoch": epoch,
+                "latency": low.stats.avg_latency,
+                "saturation": saturation_throughput(
+                    [{"throughput": s.throughput()} for s in sweep]
+                ),
+                "misroutes": low.stats.misroutes,
+                "drain_windows": low.stats.drain_windows,
+            }
+        )
+    return rows
+
+
+def _with_epoch(scale: Scale, epoch: int) -> Scale:
+    from dataclasses import replace
+
+    return replace(scale, epoch=epoch)
+
+
+def run(scale: Optional[Scale] = None) -> List[Dict]:
+    """Regenerate Figure 14."""
+    return epoch_sensitivity(scale=scale)

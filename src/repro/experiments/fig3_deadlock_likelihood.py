@@ -1,0 +1,108 @@
+"""Figure 3: likelihood of deadlocks for PARSEC workloads as links are removed.
+
+Methodology (Section II-A): an 8x8 mesh loses randomly chosen links (the
+network stays connected); the routing algorithm is fully adaptive and *not*
+deadlock-free (scheme ``NONE``); each PARSEC workload runs several times
+with 1 VC and with 4 VCs per virtual network; the reported value is the
+percentage of runs that deadlock.
+
+Expected shape: no deadlocks with 0 links removed; canneal (the highest
+injection rate) deadlocks first as links are removed; deadlocks become more
+common across workloads as more links are removed; 4 VCs delays but does
+not prevent deadlock.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import NetworkConfig, ProtocolConfig, Scheme, SimConfig
+from ..core.simulator import Simulation
+from ..topology.irregular import inject_link_faults
+from ..topology.mesh import make_mesh
+from ..traffic.workloads import PARSEC, WorkloadProfile, make_workload_traffic
+from .common import Scale, current_scale
+
+__all__ = ["deadlock_likelihood", "run"]
+
+DEFAULT_LINKS_REMOVED: Sequence[int] = (0, 2, 4, 6, 8, 10, 12)
+
+
+def _one_run(
+    workload: WorkloadProfile,
+    links_removed: int,
+    vcs: int,
+    seed: int,
+    scale: Scale,
+    mesh_width: int,
+    intensity_scale: float,
+) -> bool:
+    """Run one trial; True when the run deadlocks."""
+    base = make_mesh(mesh_width, mesh_width)
+    if links_removed:
+        topo = inject_link_faults(base, links_removed, random.Random(seed * 31 + 7))
+    else:
+        topo = base
+    config = SimConfig(
+        scheme=Scheme.NONE,
+        network=NetworkConfig(num_vns=3, vcs_per_vn=vcs),
+        seed=seed,
+    )
+    traffic = make_workload_traffic(
+        workload,
+        topo.num_nodes,
+        random.Random(seed * 101 + 3),
+        protocol=ProtocolConfig(),
+        mesh_width=mesh_width,
+        intensity_scale=intensity_scale,
+    )
+    sim = Simulation(topo, config, traffic, halt_on_deadlock=True)
+    # Deadlock formation is a rare event; give each trial a horizon long
+    # enough for the likelihoods to stabilise even at CI scale.
+    sim.run(max(scale.total_cycles, 4_000))
+    return sim.deadlocked
+
+
+def deadlock_likelihood(
+    workloads: Optional[List[WorkloadProfile]] = None,
+    links_removed: Sequence[int] = DEFAULT_LINKS_REMOVED,
+    vcs_options: Sequence[int] = (1, 4),
+    runs: int = 5,
+    scale: Optional[Scale] = None,
+    mesh_width: int = 8,
+    intensity_scale: float = 1.0,
+) -> List[Dict]:
+    """Deadlock percentage per (workload, links removed, VC count).
+
+    Returns one row per cell of the paper's heat map with the fraction of
+    *runs* that deadlocked.
+    """
+    scale = scale if scale is not None else current_scale()
+    workloads = workloads if workloads is not None else PARSEC
+    rows: List[Dict] = []
+    for workload in workloads:
+        for vcs in vcs_options:
+            for removed in links_removed:
+                hits = sum(
+                    _one_run(
+                        workload, removed, vcs, seed, scale, mesh_width,
+                        intensity_scale,
+                    )
+                    for seed in range(1, runs + 1)
+                )
+                rows.append(
+                    {
+                        "workload": workload.name,
+                        "vcs": vcs,
+                        "links_removed": removed,
+                        "deadlock_pct": 100.0 * hits / runs,
+                        "runs": runs,
+                    }
+                )
+    return rows
+
+
+def run(scale: Optional[Scale] = None) -> List[Dict]:
+    """Regenerate Figure 3 (scaled)."""
+    return deadlock_likelihood(scale=scale)

@@ -1,0 +1,84 @@
+"""Wear-out lifetime study (Section II-D's motivating use case).
+
+Links fail one by one over the chip's lifetime. After every failure the
+offline algorithm reruns (new drain path, new routing tables — exactly the
+reconfiguration story of Section III-B) and the network keeps serving
+traffic. We measure latency and delivered throughput after each failure,
+for DRAIN (fully adaptive, one VN) and for the up*/down* proactive
+alternative that fault-tolerant NoCs conventionally fall back to
+(Ariadne/uDIREC-style, Section VII).
+
+Expected shape: both degrade as bandwidth disappears, but DRAIN tracks the
+(minimal-routing) topology quality while up*/down* adds its detour factor
+on top.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..core.config import Scheme
+from ..drain.path import find_drain_path
+from ..topology.graph import Topology
+from ..topology.mesh import make_mesh
+from .common import Scale, current_scale, run_synthetic
+
+__all__ = ["lifetime_study", "run"]
+
+
+def _age_topology(topology: Topology, rng: random.Random) -> Optional[Topology]:
+    """Kill one more random link, keeping the network connected."""
+    candidates = topology.bidirectional_links()
+    rng.shuffle(candidates)
+    for a, b in candidates:
+        aged = topology.copy()
+        aged.remove_edge(a, b)
+        if aged.is_connected():
+            aged.name = f"{topology.name}+f"
+            return aged
+    return None
+
+
+def lifetime_study(
+    total_failures: int = 12,
+    measure_every: int = 3,
+    mesh_width: int = 8,
+    scale: Optional[Scale] = None,
+    seed: int = 21,
+) -> List[Dict]:
+    """Latency/throughput vs accumulated link failures, DRAIN vs up*/down*."""
+    scale = scale if scale is not None else current_scale()
+    rng = random.Random(seed)
+    topo = make_mesh(mesh_width, mesh_width)
+    rows: List[Dict] = []
+    for failed in range(total_failures + 1):
+        if failed and failed % measure_every == 0 or failed == 0:
+            # Rerun the offline algorithm on the surviving topology: its
+            # success is itself part of the result.
+            path = find_drain_path(topo)
+            row: Dict = {
+                "failures": failed,
+                "links_left": topo.num_edges,
+                "drain_path_length": len(path),
+                "diameter": topo.diameter(),
+            }
+            for scheme, key in ((Scheme.DRAIN, "drain"),
+                                (Scheme.UPDOWN, "updown")):
+                sim = run_synthetic(
+                    topo, scheme, scale.low_load_rate, scale,
+                    mesh_width=mesh_width, seed=seed + failed,
+                )
+                row[f"{key}_latency"] = sim.stats.avg_latency
+                row[f"{key}_delivered"] = sim.stats.packets_ejected
+            rows.append(row)
+        if failed < total_failures:
+            aged = _age_topology(topo, rng)
+            if aged is None:
+                break
+            topo = aged
+    return rows
+
+
+def run(scale: Optional[Scale] = None) -> List[Dict]:
+    return lifetime_study(scale=scale)

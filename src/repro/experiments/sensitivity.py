@@ -1,0 +1,184 @@
+"""Extended sensitivity studies beyond the paper's Figure 14.
+
+The paper sweeps the drain epoch; a release-quality reproduction should
+also expose how DRAIN responds to the structural knobs around it:
+
+- VCs per virtual network (does DRAIN need buffer depth to compete?);
+- ejection-queue depth (the protocol assumptions lean on these);
+- MSHRs per node (bounds in-flight transactions, Section III-D3's
+  worst-case-latency argument);
+- packet size in flits (link serialisation; ties to the pre-drain rule).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import (
+    DrainConfig,
+    NetworkConfig,
+    ProtocolConfig,
+    Scheme,
+    SimConfig,
+)
+from ..core.simulator import Simulation
+from ..protocol.coherence import CoherenceTraffic
+from ..topology.mesh import make_mesh
+from ..traffic.synthetic import SyntheticTraffic, UniformRandom
+from .common import Scale, current_scale
+
+__all__ = [
+    "vc_sensitivity",
+    "ejection_depth_sensitivity",
+    "mshr_sensitivity",
+    "packet_size_sensitivity",
+    "run",
+]
+
+
+def _drain_sim(topology, scale, rate=0.08, seed=5, **net_kwargs) -> Simulation:
+    config = SimConfig(
+        scheme=Scheme.DRAIN,
+        network=NetworkConfig(num_vns=1, **net_kwargs),
+        drain=DrainConfig(epoch=scale.epoch),
+        seed=seed,
+    )
+    traffic = SyntheticTraffic(
+        UniformRandom(topology.num_nodes), rate, random.Random(seed)
+    )
+    sim = Simulation(topology, config, traffic)
+    sim.run(scale.total_cycles, warmup=scale.warmup)
+    return sim
+
+
+def vc_sensitivity(
+    vcs_options: Sequence[int] = (1, 2, 4, 6),
+    scale: Optional[Scale] = None,
+    mesh_width: int = 8,
+) -> List[Dict]:
+    """DRAIN latency/throughput vs VCs per VN (synthetic, moderate load)."""
+    scale = scale if scale is not None else current_scale()
+    topology = make_mesh(mesh_width, mesh_width)
+    rows = []
+    for vcs in vcs_options:
+        sim = _drain_sim(topology, scale, vcs_per_vn=vcs)
+        rows.append(
+            {
+                "vcs_per_vn": vcs,
+                "latency": sim.stats.avg_latency,
+                "throughput": sim.throughput(),
+            }
+        )
+    return rows
+
+
+def ejection_depth_sensitivity(
+    depths: Sequence[int] = (1, 2, 4, 8),
+    scale: Optional[Scale] = None,
+    mesh_width: int = 4,
+) -> List[Dict]:
+    """Protocol runtime vs per-class ejection-queue depth (DRAIN, 1 VN)."""
+    scale = scale if scale is not None else current_scale()
+    topology = make_mesh(mesh_width, mesh_width)
+    rows = []
+    quota = scale.app_transactions_per_node * topology.num_nodes
+    for depth in depths:
+        config = SimConfig(
+            scheme=Scheme.DRAIN,
+            network=NetworkConfig(num_vns=1, vcs_per_vn=2,
+                                  ejection_queue_depth=depth),
+            drain=DrainConfig(epoch=min(scale.epoch, 1024)),
+        )
+        traffic = CoherenceTraffic(
+            topology.num_nodes, ProtocolConfig(), 0.08, random.Random(3),
+            total_transactions=quota,
+        )
+        sim = Simulation(topology, config, traffic)
+        stats = sim.run(scale.app_max_cycles)
+        rows.append(
+            {
+                "ejection_depth": depth,
+                "runtime": stats.cycles,
+                "finished": traffic.done(),
+                "latency": stats.avg_latency,
+            }
+        )
+    return rows
+
+
+def mshr_sensitivity(
+    mshr_options: Sequence[int] = (2, 4, 8, 16),
+    scale: Optional[Scale] = None,
+    mesh_width: int = 4,
+) -> List[Dict]:
+    """Offered protocol load scales with MSHRs; runtime should improve."""
+    scale = scale if scale is not None else current_scale()
+    topology = make_mesh(mesh_width, mesh_width)
+    rows = []
+    quota = scale.app_transactions_per_node * topology.num_nodes
+    for mshrs in mshr_options:
+        config = SimConfig(
+            scheme=Scheme.DRAIN,
+            network=NetworkConfig(num_vns=1, vcs_per_vn=2),
+            drain=DrainConfig(epoch=min(scale.epoch, 1024)),
+        )
+        traffic = CoherenceTraffic(
+            topology.num_nodes,
+            ProtocolConfig(mshrs_per_node=mshrs),
+            0.5,  # MSHR-bound regime: issue attempts far exceed capacity
+            random.Random(3),
+            total_transactions=quota,
+        )
+        sim = Simulation(topology, config, traffic)
+        stats = sim.run(scale.app_max_cycles)
+        rows.append(
+            {
+                "mshrs": mshrs,
+                "runtime": stats.cycles,
+                "finished": traffic.done(),
+                "in_flight_peak_bound": mshrs * topology.num_nodes,
+            }
+        )
+    return rows
+
+
+def packet_size_sensitivity(
+    sizes: Sequence[int] = (1, 2, 4, 8),
+    scale: Optional[Scale] = None,
+    mesh_width: int = 8,
+) -> List[Dict]:
+    """Latency/throughput vs packet serialisation length (flits)."""
+    scale = scale if scale is not None else current_scale()
+    topology = make_mesh(mesh_width, mesh_width)
+    rows = []
+    for size in sizes:
+        sim = _drain_sim(
+            topology, scale, rate=0.04, vcs_per_vn=2, packet_size_flits=size
+        )
+        rows.append(
+            {
+                "packet_flits": size,
+                "latency": sim.stats.avg_latency,
+                "throughput": sim.throughput(),
+                "pre_drain_extensions":
+                    sim.drain_controller.pre_drain_extensions,
+            }
+        )
+    return rows
+
+
+def run(scale: Optional[Scale] = None) -> List[Dict]:
+    """All sensitivity rows, tagged by study."""
+    scale = scale if scale is not None else current_scale()
+    rows: List[Dict] = []
+    for study, fn in (
+        ("vcs", vc_sensitivity),
+        ("ejection_depth", ejection_depth_sensitivity),
+        ("mshrs", mshr_sensitivity),
+        ("packet_size", packet_size_sensitivity),
+    ):
+        for row in fn(scale=scale):
+            row["study"] = study
+            rows.append(row)
+    return rows

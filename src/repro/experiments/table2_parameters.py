@@ -1,0 +1,62 @@
+"""Table II: key simulation parameters.
+
+Echoes the configuration this reproduction actually uses next to the
+paper's values, flagging every deliberate substitution. Serves as a living
+configuration audit: the test suite asserts the echoed values match the
+dataclass defaults, so drift between documentation and code is caught.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.config import DrainConfig, NetworkConfig, ProtocolConfig, SpinConfig
+
+__all__ = ["parameter_rows", "run"]
+
+
+def parameter_rows() -> List[Dict]:
+    net = NetworkConfig()
+    drain = DrainConfig()
+    spin = SpinConfig()
+    protocol = ProtocolConfig()
+    return [
+        {"parameter": "cores (Ligra/synthetic)", "paper": "64 (8x8 mesh)",
+         "repro": "64 (8x8 mesh)", "match": True},
+        {"parameter": "cores (PARSEC/SPLASH-2)", "paper": "16 (4x4 mesh)",
+         "repro": "16 (4x4 mesh)", "match": True},
+        {"parameter": "coherence protocol", "paper": "MESI (VNet=3)",
+         "repro": f"MESI-style 3-class chain (VNet={net.num_vns})",
+         "match": net.num_vns == 3},
+        {"parameter": "VCs per virtual network", "paper": "2",
+         "repro": str(net.vcs_per_vn), "match": net.vcs_per_vn == 2},
+        {"parameter": "router latency", "paper": "1 cycle",
+         "repro": f"{net.router_latency} cycle (router+link folded per hop)",
+         "match": net.router_latency == 1},
+        {"parameter": "link bandwidth", "paper": "128 bits/cycle",
+         "repro": f"{net.link_bandwidth_bits} bits/cycle",
+         "match": net.link_bandwidth_bits == 128},
+        {"parameter": "buffer organisation", "paper": "VCT, single packet/VC",
+         "repro": "VCT, single packet/VC", "match": True},
+        {"parameter": "routing (DRAIN/SPIN)", "paper": "fully adaptive random",
+         "repro": "fully adaptive random (minimal)", "match": True},
+        {"parameter": "routing (escape VC)", "paper": "DoR / up*/down*",
+         "repro": "DoR (fault-free) / up*/down* (faulty)", "match": True},
+        {"parameter": "DRAIN epoch", "paper": "64K cycles",
+         "repro": f"{drain.epoch} (scaled in CI runs)",
+         "match": drain.epoch == 64 * 1024},
+        {"parameter": "SPIN timeout", "paper": "1024 cycles",
+         "repro": f"{spin.timeout} (scaled in CI runs)",
+         "match": spin.timeout == 1024},
+        {"parameter": "faults (applications)", "paper": "0, 8",
+         "repro": "0, 8", "match": True},
+        {"parameter": "faults (synthetic)", "paper": "0, 1, 4, 8, 12",
+         "repro": "0, 1, 4, 8, 12", "match": True},
+        {"parameter": "MSHRs per node", "paper": "finite (bounds in-flight)",
+         "repro": str(protocol.mshrs_per_node), "match": True},
+    ]
+
+
+def run() -> List[Dict]:
+    """Regenerate Table II."""
+    return parameter_rows()

@@ -1,0 +1,29 @@
+"""Network fabric, indexing, deadlock analysis and the SPIN baseline."""
+
+from .bubbleflow import BubbleFlowFabric, TorusDorRouting
+from .deadlock import (
+    extract_cycle,
+    find_deadlocked_slots,
+    has_deadlock,
+    rotate_cycle,
+)
+from .fabric import EJECT, Fabric
+from .index import FabricIndex
+from .spin import SpinController
+from .staticbubble import StaticBubbleController
+from .wormhole import WormholeFabric
+
+__all__ = [
+    "Fabric",
+    "FabricIndex",
+    "WormholeFabric",
+    "EJECT",
+    "SpinController",
+    "StaticBubbleController",
+    "BubbleFlowFabric",
+    "TorusDorRouting",
+    "find_deadlocked_slots",
+    "extract_cycle",
+    "rotate_cycle",
+    "has_deadlock",
+]

@@ -1,0 +1,234 @@
+"""Deadlock analysis of a live fabric.
+
+Two tools live here:
+
+- :func:`find_deadlocked_slots` — an exact OR-request-model fixpoint: a
+  buffered packet *can eventually move* if it can eject, or if any of its
+  candidate downstream VCs is free, or is occupied by a packet that can
+  eventually move. Everything else is deadlocked. This is the measurement
+  oracle behind the Figure 3 study, the detection substrate of the SPIN
+  baseline, and the instant resolver of the IDEAL upper bound.
+- :func:`extract_cycle` / :func:`rotate_cycle` — pull one resource cycle
+  out of the deadlocked set and force its packets to move one hop in
+  unison (the coordinated movement of SPIN's spin and of the ideal
+  resolver; DRAIN's drain uses the precomputed drain path instead and does
+  not need any of this machinery — that asymmetry *is* the paper's point).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..router.packet import MessageClass, Packet
+from .fabric import Fabric
+
+__all__ = [
+    "find_deadlocked_slots",
+    "extract_cycle",
+    "rotate_cycle",
+    "has_deadlock",
+]
+
+Slot = Tuple[int, int, int]  # (port, vn, vc)
+
+#: Message classes whose ejection queues always drain eventually (sinks).
+#: RESP is a sink under the MESI model; under the MOESI model the true
+#: sinks are WB_ACK and UNBLOCK (RESP consumption spawns an UNBLOCK), but
+#: its RESP queues still drain once the UNBLOCK path does, so the oracle
+#: treats all three as eventually-draining for measurement purposes.
+_SINK_CLASSES = {MessageClass.RESP, MessageClass.WB_ACK, MessageClass.UNBLOCK}
+
+
+def _target_slots(fabric: Fabric, router: int, vn: int, packet: Packet) -> List[Slot]:
+    """All downstream VC slots *packet* could legally claim right now."""
+    out: List[Slot] = []
+    vcs = fabric.vcs_per_vn
+    for group in fabric.candidate_links(router, packet):
+        for link, vc_mode in group:
+            # Priority between groups is irrelevant for liveness: any
+            # claimable slot is a slot the packet could move into.
+            if vc_mode == 0:
+                vc_range = range(vcs)
+            elif vc_mode == 2:
+                vc_range = range(1)
+            else:
+                # Modes 3 and 4: non-escape VCs. Mode 4's conservative
+                # criterion only throttles throughput; for liveness any
+                # free non-escape slot is eventually claimable.
+                vc_range = range(1, vcs)
+            for vc in vc_range:
+                slot = (link, vn, vc)
+                if slot not in out:
+                    out.append(slot)
+    return out
+
+
+def find_deadlocked_slots(
+    fabric: Fabric, assume_ejection_drains: bool = True
+) -> Set[Slot]:
+    """Return the set of buffer slots whose packets can never move again.
+
+    *assume_ejection_drains* treats every packet that has reached its
+    destination router as eventually ejectable (true for synthetic traffic
+    and for sink classes). When False, only sink-class packets and packets
+    with free ejection space count as ejectable, which additionally exposes
+    protocol-level deadlocks where non-sink ejection queues are wedged.
+    """
+    slots = fabric.occupied_slots()
+    occupant: Dict[Slot, Packet] = {}
+    targets: Dict[Slot, List[Slot]] = {}
+    can_move: Set[Slot] = set()
+    index = fabric.index
+
+    for port, vn, vc, packet in slots:
+        occupant[(port, vn, vc)] = packet
+
+    waiters: Dict[Slot, List[Slot]] = {}
+    frontier: List[Slot] = []
+    for port, vn, vc, packet in slots:
+        slot = (port, vn, vc)
+        router = index.port_router[port]
+        if packet.dst == router:
+            ejectable = (
+                assume_ejection_drains
+                or packet.msg_class in _SINK_CLASSES
+                or fabric.ejection_space(router, packet.msg_class) > 0
+            )
+            if ejectable:
+                can_move.add(slot)
+                frontier.append(slot)
+            targets[slot] = []
+            continue
+        tgt = _target_slots(fabric, router, vn, packet)
+        targets[slot] = tgt
+        movable = False
+        for t in tgt:
+            if t not in occupant:
+                movable = True
+            else:
+                waiters.setdefault(t, []).append(slot)
+        if movable:
+            can_move.add(slot)
+            frontier.append(slot)
+
+    while frontier:
+        slot = frontier.pop()
+        for waiter in waiters.get(slot, ()):
+            if waiter not in can_move:
+                can_move.add(waiter)
+                frontier.append(waiter)
+
+    return {s for s in occupant if s not in can_move}
+
+
+def has_deadlock(fabric: Fabric, assume_ejection_drains: bool = True) -> bool:
+    """True when at least one buffered packet is permanently stuck."""
+    return bool(find_deadlocked_slots(fabric, assume_ejection_drains))
+
+
+def extract_cycle(
+    fabric: Fabric, deadlocked: Set[Slot]
+) -> Optional[List[Slot]]:
+    """Find one resource cycle within the deadlocked slots.
+
+    Returns the cycle as a slot list ``[s0, s1, ..., sk-1]`` where the
+    packet in ``si`` waits on (and during a spin moves into) ``s(i+1) % k``.
+    Returns ``None`` when the deadlocked set contains no rotatable cycle
+    (e.g. pure protocol-level wedges at ejection queues, which no amount of
+    spinning can fix — Section I-B: "There are no existing reactive
+    solutions for protocol-level deadlocks").
+    """
+    if not deadlocked:
+        return None
+    occupant: Dict[Slot, Packet] = {}
+    for port, vn, vc, packet in fabric.occupied_slots():
+        occupant[(port, vn, vc)] = packet
+    index = fabric.index
+
+    succ: Dict[Slot, List[Slot]] = {}
+    for slot in deadlocked:
+        packet = occupant[slot]
+        router = index.port_router[slot[0]]
+        if packet.dst == router:
+            succ[slot] = []
+            continue
+        succ[slot] = [
+            t
+            for t in _target_slots(fabric, router, slot[1], packet)
+            if t in deadlocked
+        ]
+
+    # Iterative DFS for any cycle in the deadlocked wait-for subgraph.
+    color: Dict[Slot, int] = {}  # 0 absent/white, 1 grey (on stack), 2 black
+    parent: Dict[Slot, Slot] = {}
+    for root in succ:
+        if color.get(root):
+            continue
+        stack: List[Tuple[Slot, int]] = [(root, 0)]
+        color[root] = 1
+        while stack:
+            slot, child_idx = stack[-1]
+            children = succ[slot]
+            if child_idx >= len(children):
+                color[slot] = 2
+                stack.pop()
+                continue
+            stack[-1] = (slot, child_idx + 1)
+            child = children[child_idx]
+            if color.get(child, 0) == 0:
+                color[child] = 1
+                parent[child] = slot
+                stack.append((child, 0))
+            elif color[child] == 1:
+                # Found a grey back-edge: unwind slot -> ... -> child.
+                cycle = [slot]
+                node = slot
+                while node != child:
+                    node = parent[node]
+                    cycle.append(node)
+                cycle.reverse()
+                return cycle
+    return None
+
+
+def rotate_cycle(fabric: Fabric, cycle: List[Slot], forced_kind: str) -> int:
+    """Move every packet in *cycle* one slot forward, in unison.
+
+    ``forced_kind`` is ``"spin"`` or ``"ideal"`` and selects the per-packet
+    counter updated. Returns the number of packets moved. Hops and
+    misroutes are accounted exactly like normal traversals; ejection is
+    *not* performed here — after the rotation packets re-route normally
+    (SPIN semantics).
+    """
+    if len(cycle) < 2:
+        raise ValueError("a rotation cycle needs at least two slots")
+    buf = fabric.buf
+    index = fabric.index
+    stats = fabric.stats
+    packets = [buf[p][vn][vc] for p, vn, vc in cycle]
+    if any(p is None for p in packets):
+        raise ValueError("rotation cycle contains an empty slot")
+    n = len(cycle)
+    for i in range(n):
+        dst_slot = cycle[(i + 1) % n]
+        packet = packets[i]
+        src_port = cycle[i][0]
+        buf[dst_slot[0]][dst_slot[1]][dst_slot[2]] = packet
+        link = dst_slot[0]
+        if index.is_injection_port(link):
+            raise ValueError("rotation cycle passes through an injection port")
+        packet.hops += 1
+        packet.blocked_since = fabric.cycle
+        old_router = index.port_router[src_port]
+        new_router = index.link_dst[link]
+        if index.dist[new_router][packet.dst] > index.dist[old_router][packet.dst]:
+            packet.misroutes += 1
+            stats.misroutes += 1
+        if forced_kind == "spin":
+            packet.spin_moves += 1
+        stats.flits_traversed += 1
+        stats.buffer_reads += 1
+        stats.buffer_writes += 1
+        stats.xbar_traversals += 1
+    fabric.last_progress_cycle = fabric.cycle
+    return n

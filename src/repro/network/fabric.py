@@ -1,0 +1,590 @@
+"""Cycle-level network fabric: buffers, allocation, movement, NI queues.
+
+This is the Garnet2.0 stand-in. The architectural contract matches
+Table II of the paper:
+
+- input-buffered VC routers, virtual cut-through, **one packet per VC**;
+- credit-based flow control (a VC freed in cycle *t* is claimable from
+  cycle *t+1*, because freeness is evaluated against start-of-cycle state);
+- 1-cycle routers and 1-cycle links (a granted packet sits in the
+  downstream VC at the start of the next cycle);
+- per-router crossbar constraints: one grant per input port and one per
+  output link per cycle; one ejection per router per cycle;
+- per-message-class injection and ejection queues at every network
+  interface (Section III-A's protocol assumptions);
+- U-turns permitted (assumption 3).
+
+Scheme-specific behaviour (escape-VC discipline, DRAIN escape rules) is
+expressed through ``escape_mode``:
+
+- ``None`` — all VCs equivalent (SPIN / NONE / IDEAL / UPDOWN);
+- ``"drain"`` — VC 0 of each VN is the drained escape VC; fully adaptive
+  routing everywhere; packets prefer non-escape VCs and fall back to the
+  escape VC; once in an escape VC a packet stays in escape VCs;
+- ``"escape_vc"`` — classic escape VC: non-escape VCs are fully adaptive,
+  VC 0 follows a restricted deadlock-free routing function; escape entry
+  is only possible along that restricted route and is sticky.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..core.config import SimConfig
+from ..core.metrics import NetworkStats
+from ..router.packet import MessageClass, Packet
+from ..routing.base import RoutingFunction
+from .index import FabricIndex
+
+__all__ = ["Fabric", "EJECT"]
+
+#: Sentinel candidate meaning "eject at the local NI".
+EJECT = -1
+
+_NUM_CLASSES = len(MessageClass)
+
+
+class Fabric:
+    """The network state plus the per-cycle allocation/movement pipeline."""
+
+    def __init__(
+        self,
+        index: FabricIndex,
+        config: SimConfig,
+        routing: RoutingFunction,
+        escape_mode: Optional[str] = None,
+        escape_routing: Optional[RoutingFunction] = None,
+        stats: Optional[NetworkStats] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if escape_mode not in (None, "drain", "escape_vc"):
+            raise ValueError(f"unknown escape mode {escape_mode!r}")
+        if escape_mode == "escape_vc" and escape_routing is None:
+            raise ValueError("escape_vc mode requires an escape routing function")
+        self.index = index
+        self.config = config
+        self.net = config.network
+        self.routing = routing
+        self.escape_mode = escape_mode
+        self.escape_routing = escape_routing
+        self.stats = stats if stats is not None else NetworkStats()
+        self.rng = rng if rng is not None else random.Random(config.seed)
+
+        self.num_vns = self.net.num_vns
+        self.vcs_per_vn = self.net.vcs_per_vn
+        self.escape_sticky = config.drain.escape_sticky
+
+        # buf[port][vn][vc] -> Optional[Packet]
+        self.buf: List[List[List[Optional[Packet]]]] = [
+            [[None] * self.vcs_per_vn for _ in range(self.num_vns)]
+            for _ in range(index.num_ports)
+        ]
+        self.packets_in_network = 0
+
+        # Network-interface queues, one per message class per node.
+        depth_in = self.net.injection_queue_depth
+        self.inj_queues: List[List[Deque[Packet]]] = [
+            [deque() for _ in range(_NUM_CLASSES)] for _ in range(index.num_nodes)
+        ]
+        self.ej_queues: List[List[Deque[Packet]]] = [
+            [deque() for _ in range(_NUM_CLASSES)] for _ in range(index.num_nodes)
+        ]
+        self._inj_depth = depth_in
+        self._ej_depth = self.net.ejection_queue_depth
+
+        #: Per-unidirectional-link traversal counters (utilisation probes).
+        self.link_util: List[int] = [0] * index.num_links
+        #: Multi-flit serialisation state (packet_size_flits > 1): a
+        #: granted packet keeps its source slot, reserves its target slot
+        #: and holds the link busy until the transfer completes.
+        self.packet_size_flits = self.net.packet_size_flits
+        self._link_busy_until: List[int] = [-1] * index.num_links
+        self._in_flight: List[Tuple[int, int, int, int, int, int, int, Packet]] = []
+        self._in_flight_sources = set()  # slots whose packet is mid-transfer
+        self._reserved = set()  # target slots awaiting an arrival
+        #: Input port currently being served by the allocation loop; lets
+        #: flow-control subclasses (e.g. bubble flow control) apply
+        #: source-dependent admission rules inside ``_pick_vc``.
+        self._serving_port: int = -1
+        self.frozen = False  # pre-drain / drain-window credit freeze
+        self.cycle = 0
+        self.measure_from = 0  # packets generated earlier are not recorded
+        self.last_progress_cycle = 0
+        self._lcg = (config.seed * 2654435761) & 0x7FFFFFFF
+        self._inj_rr: List[int] = [0] * index.num_nodes
+
+    # ------------------------------------------------------------------
+    # NI-side API (used by traffic generators and protocol models)
+    # ------------------------------------------------------------------
+    def offer_packet(self, packet: Packet) -> bool:
+        """Enqueue *packet* at its source NI; False when the queue is full."""
+        queue = self.inj_queues[packet.src][packet.msg_class]
+        if len(queue) >= self._inj_depth:
+            return False
+        queue.append(packet)
+        return True
+
+    def injection_space(self, node: int, msg_class: MessageClass) -> int:
+        """Free slots in *node*'s injection queue for *msg_class*."""
+        return self._inj_depth - len(self.inj_queues[node][msg_class])
+
+    def peek_ejection(self, node: int, msg_class: MessageClass) -> Optional[Packet]:
+        queue = self.ej_queues[node][msg_class]
+        return queue[0] if queue else None
+
+    def pop_ejection(self, node: int, msg_class: MessageClass) -> Packet:
+        self.last_progress_cycle = self.cycle
+        return self.ej_queues[node][msg_class].popleft()
+
+    def ejection_space(self, node: int, msg_class: MessageClass) -> int:
+        return self._ej_depth - len(self.ej_queues[node][msg_class])
+
+    # ------------------------------------------------------------------
+    # Candidate computation (shared by the allocator and the deadlock oracle)
+    # ------------------------------------------------------------------
+    def vn_of_class(self, msg_class: int) -> int:
+        """Virtual network carrying *msg_class* (classes fold onto VNs)."""
+        return msg_class % self.num_vns
+
+    def candidate_links(
+        self, router: int, packet: Packet
+    ) -> List[List[Tuple[int, int]]]:
+        """Output candidates for *packet* at *router*, in priority groups.
+
+        Each group is a list of ``(link, vc_mode)`` pairs; the allocator
+        exhausts a group (in randomised order) before trying the next, so
+        groups encode strict preferences. ``vc_mode`` selects which
+        downstream VCs may be claimed: 0 = any VC, 2 = escape VC only,
+        3 = non-escape VCs only.
+
+        - DRAIN: strictly prefer non-escape VCs on any productive output;
+          fall back to the escape VC only when no non-escape VC is
+          claimable (entering escape is free of routing restrictions but —
+          with ``escape_sticky`` — commits the packet to escape VCs).
+        - Escape-VC baseline: adaptive (non-escape) and restricted-route
+          escape candidates compete in a single group, modelling the usual
+          round-robin VC selection; escape entry is always sticky.
+        """
+        mode = self.escape_mode
+        if mode is None:
+            return [[(l, 0) for l in self.routing.candidates(router, packet)]]
+        if mode == "drain":
+            links = self.routing.candidates(router, packet)
+            if packet.in_escape:
+                return [[(l, 2) for l in links]]
+            if self.vcs_per_vn == 1:
+                # Degenerate config: the only VC is the escape VC.
+                return [[(l, 2) for l in links]]
+            return [[(l, 3) for l in links], [(l, 2) for l in links]]
+        # escape_vc
+        if packet.in_escape:
+            return [
+                [(l, 2) for l in self.escape_routing.candidates(router, packet)]
+            ]
+        cands = [(l, 4) for l in self.routing.candidates(router, packet)]
+        if self.vcs_per_vn == 1:
+            # Degenerate config: the only VC is the escape VC.
+            cands = []
+        for l in self.escape_routing.candidates(router, packet):
+            cands.append((l, 2))
+        return [cands]
+
+    def _pick_vc(self, port: int, vn: int, vc_mode: int, claimed) -> int:
+        """Free claimable VC index at *port*/*vn* honouring *vc_mode*; -1 if none."""
+        row = self.buf[port][vn]
+        vcs = self.vcs_per_vn
+        if vc_mode == 0:
+            order = range(vcs)
+        elif vc_mode == 2:  # escape only
+            order = (0,)
+        elif vc_mode == 4:  # non-escape, conservative allocation
+            # Duato-style conservative criterion for adaptive VCs [11]: only
+            # claim an adaptive VC while the port retains another free VC,
+            # so the escape path can never be starved of buffer space.
+            free = sum(
+                1
+                for vc in range(vcs)
+                if row[vc] is None and (port, vn, vc) not in claimed
+            )
+            if free < 2:
+                return -1
+            order = range(1, vcs)
+        else:  # non-escape only
+            order = range(1, vcs)
+        reserved = self._reserved
+        for vc in order:
+            if (
+                row[vc] is None
+                and (port, vn, vc) not in claimed
+                and (port, vn, vc) not in reserved
+            ):
+                return vc
+        return -1
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def inject_stage(self) -> None:
+        """Move packets from NI injection queues into injection-port VCs.
+
+        One VC allocation per virtual network per node per cycle. Frozen
+        during pre-drain/drain windows (no new VC allocations).
+        """
+        if self.frozen:
+            return
+        buf = self.buf
+        index = self.index
+        stats = self.stats
+        for node in range(index.num_nodes):
+            queues = self.inj_queues[node]
+            port = index.num_links + node
+            # Rotate class service order for fairness between classes that
+            # share a VN.
+            rr = self._inj_rr[node]
+            self._inj_rr[node] = (rr + 1) % _NUM_CLASSES
+            granted_vns = 0
+            for off in range(_NUM_CLASSES):
+                cls = (rr + off) % _NUM_CLASSES
+                queue = queues[cls]
+                if not queue:
+                    continue
+                vn = cls % self.num_vns
+                row = buf[port][vn]
+                vc = next((i for i, slot in enumerate(row) if slot is None), -1)
+                if vc < 0:
+                    continue
+                packet = queue.popleft()
+                packet.vn = vn
+                packet.net_entry_cycle = self.cycle
+                packet.blocked_since = self.cycle
+                self.routing.on_inject(packet)
+                row[vc] = packet
+                self.packets_in_network += 1
+                stats.packets_injected += 1
+                stats.buffer_writes += 1
+                self.last_progress_cycle = self.cycle
+                granted_vns += 1
+                if granted_vns >= self.num_vns:
+                    break
+
+    def _complete_transfers(self) -> None:
+        """Land multi-flit transfers whose serialisation has finished."""
+        if not self._in_flight:
+            return
+        cycle = self.cycle
+        remaining = []
+        for entry in self._in_flight:
+            done, sp, svn, svc, link, tvn, tvc, packet = entry
+            if done > cycle:
+                remaining.append(entry)
+                continue
+            self.buf[sp][svn][svc] = None
+            self._in_flight_sources.discard((sp, svn, svc))
+            self._reserved.discard((link, tvn, tvc))
+            self.buf[link][tvn][tvc] = packet
+            self._account_move(sp, svn, link, tvn, tvc, packet)
+        self._in_flight = remaining
+
+    def movement_stage(self) -> None:
+        """Switch allocation + traversal: the per-cycle router pipeline."""
+        self._complete_transfers()
+        if self.frozen:
+            return
+        index = self.index
+        buf = self.buf
+        num_vns = self.num_vns
+        vcs = self.vcs_per_vn
+        cycle = self.cycle
+
+        moves: List[Tuple[int, int, int, int, int, int, Packet]] = []
+        ejects: List[Tuple[int, int, int, Packet]] = []
+        link_used = bytearray(index.num_links)
+        claimed = set()
+        eject_budget = [self.net.ejections_per_cycle] * index.num_nodes
+        eject_pending = [[0] * _NUM_CLASSES for _ in range(index.num_nodes)]
+
+        lcg = self._lcg
+        for router in range(index.num_nodes):
+            ports = index.in_ports[router]
+            nports = len(ports)
+            port_start = (cycle + router) % nports
+            for pi in range(nports):
+                port = ports[(port_start + pi) % nports]
+                self._serving_port = port  # hook for flow-control subclasses
+                rows = buf[port]
+                granted = False
+                for vn_off in range(num_vns):
+                    vn = (cycle + vn_off) % num_vns
+                    row = rows[vn]
+                    for vc_off in range(vcs):
+                        vc = (cycle + port + vc_off) % vcs
+                        packet = row[vc]
+                        if packet is None:
+                            continue
+                        if (
+                            self._in_flight_sources
+                            and (port, vn, vc) in self._in_flight_sources
+                        ):
+                            continue  # mid-transfer on its link
+                        if packet.dst == router:
+                            cls = packet.msg_class
+                            if (
+                                eject_budget[router] > 0
+                                and len(self.ej_queues[router][cls])
+                                + eject_pending[router][cls]
+                                < self._ej_depth
+                            ):
+                                ejects.append((port, vn, vc, packet))
+                                eject_budget[router] -= 1
+                                eject_pending[router][cls] += 1
+                                granted = True
+                        else:
+                            for group in self.candidate_links(router, packet):
+                                ncands = len(group)
+                                if not ncands:
+                                    continue
+                                lcg = (lcg * 1103515245 + 12345) & 0x7FFFFFFF
+                                start = lcg % ncands
+                                for ci in range(ncands):
+                                    link, vc_mode = group[(start + ci) % ncands]
+                                    if (
+                                        link_used[link]
+                                        or self._link_busy_until[link] >= cycle
+                                    ):
+                                        continue
+                                    tvc = self._pick_vc(link, vn, vc_mode, claimed)
+                                    if tvc < 0:
+                                        continue
+                                    if self.packet_size_flits > 1:
+                                        # Serialised transfer: hold the link,
+                                        # keep the source, reserve the target.
+                                        done = cycle + self.packet_size_flits - 1
+                                        self._link_busy_until[link] = done
+                                        self._in_flight.append(
+                                            (done, port, vn, vc, link, vn,
+                                             tvc, packet)
+                                        )
+                                        self._in_flight_sources.add(
+                                            (port, vn, vc)
+                                        )
+                                        self._reserved.add((link, vn, tvc))
+                                    else:
+                                        moves.append(
+                                            (port, vn, vc, link, vn, tvc, packet)
+                                        )
+                                        claimed.add((link, vn, tvc))
+                                    link_used[link] = 1
+                                    granted = True
+                                    break
+                                if granted:
+                                    break
+                        if granted:
+                            break
+                    if granted:
+                        break
+                # one grant per input port per cycle (crossbar input constraint)
+        self._lcg = lcg
+        self._apply_moves(moves, ejects)
+
+    def _apply_moves(
+        self,
+        moves: List[Tuple[int, int, int, int, int, int, Packet]],
+        ejects: List[Tuple[int, int, int, Packet]],
+    ) -> None:
+        buf = self.buf
+        index = self.index
+        stats = self.stats
+        dist = index.dist
+        cycle = self.cycle
+        if moves or ejects:
+            self.last_progress_cycle = cycle
+        for port, vn, vc, _t1, _t2, _t3, _pkt in moves:
+            buf[port][vn][vc] = None
+        for port, vn, vc, _pkt in ejects:
+            buf[port][vn][vc] = None
+        for src_port, vn, _vc, link, tvn, tvc, packet in moves:
+            buf[link][tvn][tvc] = packet
+            self._account_move(src_port, vn, link, tvn, tvc, packet)
+        for port, _vn, _vc, packet in ejects:
+            router = index.port_router[port]
+            self._eject(router, packet)
+            stats.buffer_reads += 1
+            stats.xbar_traversals += 1
+
+    def _account_move(self, src_port: int, vn: int, link: int, tvn: int,
+                      tvc: int, packet: Packet) -> None:
+        """Per-traversal bookkeeping shared by 1-cycle and serialised moves."""
+        stats = self.stats
+        index = self.index
+        packet.hops += 1
+        packet.blocked_since = self.cycle
+        old_router = index.port_router[src_port]
+        new_router = index.link_dst[link]
+        if index.dist[new_router][packet.dst] > index.dist[old_router][packet.dst]:
+            packet.misroutes += 1
+            stats.misroutes += 1
+        self._route_state_update(packet, link, tvc)
+        stats.flits_traversed += self.packet_size_flits
+        stats.vn_hops[tvn] = stats.vn_hops.get(tvn, 0) + 1
+        self.link_util[link] += 1
+        stats.buffer_reads += 1
+        stats.buffer_writes += 1
+        stats.xbar_traversals += 1
+        self.last_progress_cycle = self.cycle
+
+    def _route_state_update(self, packet: Packet, link: int, tvc: int) -> None:
+        """Latch escape/phase state after *packet* traverses *link* into VC *tvc*."""
+        sticky = self.escape_mode == "escape_vc" or self.escape_sticky
+        if self.escape_mode is not None and tvc == 0 and not packet.in_escape and sticky:
+            packet.in_escape = True
+            if self.escape_mode == "escape_vc":
+                self.escape_routing.on_inject(packet)
+        if packet.in_escape and self.escape_mode == "escape_vc":
+            self.escape_routing.on_hop(packet, link)
+        else:
+            self.routing.on_hop(packet, link)
+
+    def _eject(self, router: int, packet: Packet) -> None:
+        """Deliver *packet* into the per-class ejection queue at *router*."""
+        packet.eject_cycle = self.cycle
+        self.ej_queues[router][packet.msg_class].append(packet)
+        self.packets_in_network -= 1
+        stats = self.stats
+        stats.packets_ejected += 1
+        if self.cycle >= self.measure_from:
+            stats.packets_ejected_measured += 1
+        if packet.gen_cycle >= self.measure_from:
+            stats.latency.add(packet.latency)
+            if packet.net_entry_cycle is not None:
+                stats.network_latency.add(packet.network_latency)
+            stats.hops.add(packet.hops)
+
+    def step(self) -> None:
+        """Advance the fabric by one cycle.
+
+        Movement runs before injection so that a packet written into a VC
+        (by injection or by a move) earliest departs in the *next* cycle —
+        the 1-cycle router latency of Table II.
+        """
+        self.movement_stage()
+        self.inject_stage()
+        self.cycle += 1
+        self.stats.cycles += 1
+
+    # ------------------------------------------------------------------
+    # Draining (called by DrainController during drain windows)
+    # ------------------------------------------------------------------
+    def drain_rotate_escape(self, path_ports: List[int]) -> None:
+        """Rotate all escape-VC packets one hop along the drain path.
+
+        ``path_ports`` is the drain path as input-port (link) ids in cycle
+        order; position ``i`` feeds position ``i+1``. The rotation is a
+        permutation of buffer contents — every slot's new content comes
+        from its predecessor — so it never requires a free buffer. After
+        the rotation, packets that arrived at their destination router
+        eject immediately if their per-class ejection queue has space.
+        """
+        buf = self.buf
+        index = self.index
+        stats = self.stats
+        dist = index.dist
+        n = len(path_ports)
+        cycle = self.cycle
+        for vn in range(self.num_vns):
+            packets = [buf[p][vn][0] for p in path_ports]
+            moved = 0
+            for i in range(n):
+                packet = packets[i]
+                tgt = path_ports[(i + 1) % n]
+                buf[tgt][vn][0] = packet
+                if packet is None:
+                    continue
+                moved += 1
+                packet.hops += 1
+                packet.drain_moves += 1
+                packet.blocked_since = cycle
+                old_router = index.link_dst[path_ports[i]]
+                new_router = index.link_dst[tgt]
+                if dist[new_router][packet.dst] > dist[old_router][packet.dst]:
+                    packet.misroutes += 1
+                    stats.misroutes += 1
+                stats.flits_traversed += 1
+                stats.buffer_reads += 1
+                stats.buffer_writes += 1
+                stats.xbar_traversals += 1
+            if moved:
+                stats.drained_packets += moved
+                self.last_progress_cycle = cycle
+            for p in path_ports:
+                packet = buf[p][vn][0]
+                if packet is None:
+                    continue
+                router = index.link_dst[p]
+                if packet.dst != router:
+                    continue
+                if self.ejection_space(router, packet.msg_class) > 0:
+                    buf[p][vn][0] = None
+                    self._eject(router, packet)
+                    stats.buffer_reads += 1
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (oracle, controllers, tests)
+    # ------------------------------------------------------------------
+    def occupied_slots(self) -> List[Tuple[int, int, int, Packet]]:
+        """All occupied buffer slots as (port, vn, vc, packet) tuples."""
+        out = []
+        buf = self.buf
+        for port in range(self.index.num_ports):
+            rows = buf[port]
+            for vn in range(self.num_vns):
+                row = rows[vn]
+                for vc in range(self.vcs_per_vn):
+                    packet = row[vc]
+                    if packet is not None:
+                        out.append((port, vn, vc, packet))
+        return out
+
+    def count_packets(self) -> int:
+        """Packets currently buffered in the network (invariant check)."""
+        return sum(1 for _ in self.occupied_slots())
+
+    def transfers_in_flight(self) -> int:
+        """Serialised link transfers still completing (multi-flit packets).
+
+        The drain controller refuses to open a drain window while this is
+        non-zero — the runtime embodiment of the paper's rule that the
+        pre-drain window is sized by the maximum packet size.
+        """
+        return len(self._in_flight)
+
+    def link_utilization(self) -> List[float]:
+        """Per-link traversal rate (flits per cycle) over the run so far."""
+        if self.cycle == 0:
+            return [0.0] * self.index.num_links
+        return [count / self.cycle for count in self.link_util]
+
+    def router_load(self) -> dict:
+        """Per-router incoming traffic (flits/cycle), for heat rendering."""
+        load = {n: 0.0 for n in range(self.index.num_nodes)}
+        for link, rate in enumerate(self.link_utilization()):
+            load[self.index.link_dst[link]] += rate
+        return load
+
+    def force_move(self, src: Tuple[int, int, int], dst: Tuple[int, int, int]) -> None:
+        """Teleport a packet between slots (drain/spin rotation primitive).
+
+        The destination slot must be free. Hop/misroute accounting is the
+        caller's responsibility since forced moves have scheme-specific
+        semantics.
+        """
+        sp, svn, svc = src
+        dp, dvn, dvc = dst
+        packet = self.buf[sp][svn][svc]
+        if packet is None:
+            raise ValueError(f"no packet at slot {src}")
+        if self.buf[dp][dvn][dvc] is not None:
+            raise ValueError(f"slot {dst} is occupied")
+        self.buf[sp][svn][svc] = None
+        self.buf[dp][dvn][dvc] = packet

@@ -1,0 +1,67 @@
+"""Integer indexing of a topology's links and ports for the hot simulation path.
+
+The cycle-level fabric avoids hashing :class:`~repro.topology.graph.Link`
+objects inside per-cycle loops by assigning every unidirectional link a
+small integer id and precomputing per-router port lists. Injection ports
+get ids following the link ids, so every buffer in the network is addressed
+by a single integer port id:
+
+- port ``0 .. L-1``: the input buffer at ``link.dst`` fed by link ``i``
+- port ``L + r``: the injection port of router ``r``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..topology.graph import Link, Topology
+
+__all__ = ["FabricIndex"]
+
+
+class FabricIndex:
+    """Precomputed integer views of a topology for the simulator."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.links: List[Link] = topology.unidirectional_links()
+        self.num_links = len(self.links)
+        self.num_nodes = topology.num_nodes
+        self.link_id: Dict[Link, int] = {l: i for i, l in enumerate(self.links)}
+        self.link_src: List[int] = [l.src for l in self.links]
+        self.link_dst: List[int] = [l.dst for l in self.links]
+        self.link_reverse: List[int] = [self.link_id[l.reverse] for l in self.links]
+
+        # Per-router port lists. Input ports of router r are the links ending
+        # at r plus its injection port; output ports are the links leaving r.
+        self.in_links: List[List[int]] = [[] for _ in range(self.num_nodes)]
+        self.out_links: List[List[int]] = [[] for _ in range(self.num_nodes)]
+        for i, link in enumerate(self.links):
+            self.in_links[link.dst].append(i)
+            self.out_links[link.src].append(i)
+
+        self.num_ports = self.num_links + self.num_nodes
+        self.port_router: List[int] = self.link_dst + list(range(self.num_nodes))
+        self.in_ports: List[List[int]] = [
+            self.in_links[r] + [self.injection_port(r)] for r in range(self.num_nodes)
+        ]
+
+        # Hop-distance matrix for minimal routing and misroute accounting.
+        self.dist: List[List[int]] = topology.all_pairs_distances()
+
+    def injection_port(self, router: int) -> int:
+        """Port id of router *router*'s injection buffer."""
+        return self.num_links + router
+
+    def is_injection_port(self, port: int) -> bool:
+        return port >= self.num_links
+
+    def port_of_link(self, link: Link) -> int:
+        """Port id of the input buffer fed by *link*."""
+        return self.link_id[link]
+
+    def __repr__(self) -> str:
+        return (
+            f"FabricIndex({self.topology.name}, links={self.num_links}, "
+            f"ports={self.num_ports})"
+        )

@@ -1,0 +1,19 @@
+"""Analytical area/power model (DSENT stand-in) and run accounting."""
+
+from .accounting import VnPowerSplit, network_power_split, per_vn_power
+from .dsent import (
+    RouterAreaPower,
+    RouterParams,
+    model_router,
+    scheme_router_params,
+)
+
+__all__ = [
+    "RouterParams",
+    "RouterAreaPower",
+    "model_router",
+    "scheme_router_params",
+    "VnPowerSplit",
+    "network_power_split",
+    "per_vn_power",
+]

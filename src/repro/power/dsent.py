@@ -1,0 +1,180 @@
+"""Analytical router area/power model (DSENT stand-in, 11 nm).
+
+The paper uses DSENT [28] to model power and area at 11 nm. We reproduce
+the *structure* of that model — per-component area and energy/power terms
+that scale with the router's buffer, crossbar, allocator and link
+configuration — with coefficients calibrated so that the relative results
+the paper reports emerge naturally:
+
+- VC buffers dominate router area and static power (Section II-B), so the
+  escape-VC baseline (3 virtual networks x 2 VCs) pays ~3x the buffer cost
+  of DRAIN (1 VN x 2 VCs);
+- SPIN adds ~15% control overhead over a basic DoR router for probe
+  generation and global coordination (Section V-A);
+- DRAIN adds only an epoch register, a full-drain counter and a small
+  turn-table per router (Figure 7).
+
+Absolute numbers are synthetic (units are arbitrary "area units" and
+milliwatt-like figures); every experiment reports ratios normalized to a
+baseline, exactly as the paper's Figure 9 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RouterParams", "RouterAreaPower", "model_router", "scheme_router_params"]
+
+# Calibrated component coefficients (arbitrary units; see module docstring).
+_BUFFER_AREA_PER_SLOT = 1_000.0  # one packet-sized VC buffer
+_XBAR_AREA_PER_PORT2 = 55.0  # crossbar grows with ports^2
+_ALLOC_AREA_PER_REQ = 14.0  # separable allocator arbitration cell
+_SPIN_CONTROL_AREA_FRACTION = 0.15  # paper: ~15% over a basic DoR router
+# SPIN's always-on detection machinery (per-VC timeout counters, probe
+# generators, coordination FSMs) leaks continuously; its static-power share
+# is larger than its area share.
+_SPIN_CONTROL_POWER_FRACTION = 0.35
+_DRAIN_TURNTABLE_AREA_PER_PORT = 6.0  # one output-port id per input port
+_DRAIN_COUNTER_AREA = 30.0  # epoch register + full-drain counter
+
+_BUFFER_LEAK_PER_SLOT = 0.080  # static power per buffered slot
+_XBAR_LEAK_PER_PORT2 = 0.004
+_ALLOC_LEAK_PER_REQ = 0.0012
+_CLOCK_PER_SLOT = 0.020  # clock tree load of buffer flops
+
+_E_BUFFER_RW = 0.55  # dynamic energy: buffer write + read, per packet
+_E_XBAR = 0.30  # dynamic energy: crossbar traversal, per packet
+_E_LINK = 0.45  # dynamic energy: link traversal, per packet
+_E_ALLOC = 0.05  # dynamic energy: allocation, per packet
+
+
+@dataclass(frozen=True)
+class RouterParams:
+    """Structural parameters of one router for the area/power model."""
+
+    ports: int = 5  # mesh router: 4 neighbours + local
+    num_vns: int = 3
+    vcs_per_vn: int = 2
+    scheme: str = "basic"  # basic | escape_vc | spin | drain
+
+    def __post_init__(self) -> None:
+        if self.ports < 2:
+            raise ValueError("router needs at least two ports")
+        if self.num_vns < 1 or self.vcs_per_vn < 1:
+            raise ValueError("need at least one VN and one VC")
+        if self.scheme not in (
+            "basic", "escape_vc", "spin", "drain", "static_bubble"
+        ):
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+
+    @property
+    def buffer_slots(self) -> int:
+        return self.ports * self.num_vns * self.vcs_per_vn
+
+
+@dataclass(frozen=True)
+class RouterAreaPower:
+    """Per-router area and power breakdown."""
+
+    buffer_area: float
+    xbar_area: float
+    alloc_area: float
+    control_area: float
+    buffer_static: float
+    other_static: float
+    clock_power: float
+
+    @property
+    def total_area(self) -> float:
+        return self.buffer_area + self.xbar_area + self.alloc_area + self.control_area
+
+    @property
+    def static_power(self) -> float:
+        return self.buffer_static + self.other_static + self.clock_power
+
+    def dynamic_energy(
+        self,
+        buffer_rw: int,
+        xbar_traversals: int,
+        link_traversals: int,
+        allocations: int,
+    ) -> float:
+        """Dynamic energy for the given event counts (from NetworkStats)."""
+        return (
+            buffer_rw * _E_BUFFER_RW
+            + xbar_traversals * _E_XBAR
+            + link_traversals * _E_LINK
+            + allocations * _E_ALLOC
+        )
+
+
+def model_router(params: RouterParams) -> RouterAreaPower:
+    """Evaluate the analytical model for one router configuration."""
+    slots = params.buffer_slots
+    buffer_area = slots * _BUFFER_AREA_PER_SLOT
+    xbar_area = params.ports * params.ports * _XBAR_AREA_PER_PORT2
+    # Separable VC + switch allocation: requests scale with total VCs x ports.
+    requests = slots * params.ports
+    alloc_area = requests * _ALLOC_AREA_PER_REQ
+
+    base_area = buffer_area + xbar_area + alloc_area
+    if params.scheme == "spin":
+        control_area = base_area * _SPIN_CONTROL_AREA_FRACTION
+    elif params.scheme == "drain":
+        control_area = (
+            params.ports * _DRAIN_TURNTABLE_AREA_PER_PORT + _DRAIN_COUNTER_AREA
+        )
+    elif params.scheme == "static_bubble":
+        # One extra (normally-off) packet buffer plus per-VC timeout
+        # counters for detection [6], [7].
+        control_area = _BUFFER_AREA_PER_SLOT + slots * _ALLOC_AREA_PER_REQ
+    else:
+        control_area = 0.0
+
+    buffer_static = slots * _BUFFER_LEAK_PER_SLOT
+    other_static = (
+        params.ports * params.ports * _XBAR_LEAK_PER_PORT2
+        + requests * _ALLOC_LEAK_PER_REQ
+    )
+    clock_power = slots * _CLOCK_PER_SLOT
+    if params.scheme == "spin":
+        base_static = buffer_static + other_static + clock_power
+        other_static += base_static * _SPIN_CONTROL_POWER_FRACTION
+    elif params.scheme == "drain" and base_area > 0:
+        # Turn-table + epoch register leakage, proportional to area share.
+        other_static += (control_area / base_area) * other_static
+
+    return RouterAreaPower(
+        buffer_area=buffer_area,
+        xbar_area=xbar_area,
+        alloc_area=alloc_area,
+        control_area=control_area,
+        buffer_static=buffer_static,
+        other_static=other_static,
+        clock_power=clock_power,
+    )
+
+
+def scheme_router_params(
+    scheme: str, ports: int = 5, vcs_per_vn: int = 2, num_vns: int = 3
+) -> RouterParams:
+    """Router parameters for each evaluated scheme (Section V-A).
+
+    - ``escape_vc``: needs all virtual networks and at least 2 VCs per VN
+      (one escape + one adaptive).
+    - ``spin``: needs all virtual networks; can run 1 VC per VN.
+    - ``drain``: protocol-level deadlock-free with a single VN, and can run
+      a single VC within it.
+    - ``basic``: DoR reference router (used to size SPIN's 15% overhead).
+    """
+    if scheme == "escape_vc":
+        return RouterParams(ports, num_vns, max(2, vcs_per_vn), "escape_vc")
+    if scheme == "spin":
+        return RouterParams(ports, num_vns, vcs_per_vn, "spin")
+    if scheme == "drain":
+        return RouterParams(ports, 1, vcs_per_vn, "drain")
+    if scheme == "static_bubble":
+        return RouterParams(ports, num_vns, vcs_per_vn, "static_bubble")
+    if scheme == "basic":
+        return RouterParams(ports, num_vns, vcs_per_vn, "basic")
+    raise ValueError(f"unknown scheme {scheme!r}")

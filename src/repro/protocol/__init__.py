@@ -1,0 +1,6 @@
+"""Coherence-protocol traffic models (Ruby stand-ins): MESI and MOESI."""
+
+from .coherence import CoherenceTraffic
+from .moesi import MoesiTraffic
+
+__all__ = ["CoherenceTraffic", "MoesiTraffic"]

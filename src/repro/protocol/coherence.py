@@ -1,0 +1,185 @@
+"""MESI-flavoured coherence-transaction traffic (Ruby stand-in).
+
+The paper runs full applications over gem5's Ruby MESI directory protocol.
+What matters for deadlock behaviour is the *message-class dependency
+chain*: consuming a request at the directory requires injecting a
+dependent message (a forward/invalidation or a response), forwards require
+injecting responses, and responses are a pure sink. With finite MSHRs and
+finite per-class ejection queues, this is exactly the structure that
+produces protocol-level deadlocks on a shared virtual network (Figure 2a)
+and that virtual networks — or DRAIN — must break.
+
+Transactions come in two shapes, chosen per request:
+
+- 2-hop: ``REQ(src -> home)`` then ``RESP(home -> src)``;
+- 3-hop: ``REQ(src -> home)``, ``FWD(home -> sharer)``,
+  ``RESP(sharer -> src)`` — the invalidation/ownership-transfer chain.
+
+The generator is closed-loop: each node issues a new transaction with a
+per-cycle probability while it has a free MSHR, mirroring how a core's
+outstanding misses are bounded (Section III-A's assumption that one
+message class can never flood all network buffers).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.config import ProtocolConfig
+from ..network.fabric import Fabric
+from ..router.packet import MessageClass, Packet
+
+__all__ = ["CoherenceTraffic"]
+
+
+class CoherenceTraffic:
+    """Closed-loop directory-protocol transaction generator."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: ProtocolConfig,
+        issue_probability: float,
+        rng: random.Random,
+        total_transactions: Optional[int] = None,
+        locality: float = 0.0,
+        mesh_width: Optional[int] = None,
+    ) -> None:
+        if num_nodes < 3:
+            raise ValueError("the 3-hop chain needs at least three nodes")
+        if not 0.0 <= issue_probability <= 1.0:
+            raise ValueError("issue_probability must be a probability")
+        if not 0.0 <= locality <= 1.0:
+            raise ValueError("locality must be a probability")
+        self.num_nodes = num_nodes
+        self.config = config
+        self.issue_probability = issue_probability
+        self.rng = rng
+        self.total_transactions = total_transactions
+        self.locality = locality
+        self.mesh_width = mesh_width
+        self.outstanding: List[int] = [0] * num_nodes
+        self.issued = 0
+        self.completed = 0
+        self._next_pid = 0
+        self._next_txn = 0
+
+    # ------------------------------------------------------------------
+    def _pick_other(self, *exclude: int) -> int:
+        while True:
+            n = self.rng.randrange(self.num_nodes)
+            if n not in exclude:
+                return n
+
+    def _pick_home(self, src: int) -> int:
+        """Home directory for a new request; *locality* biases it nearby."""
+        if self.locality > 0.0 and self.mesh_width and self.rng.random() < self.locality:
+            width = self.mesh_width
+            x, y = src % width, src // width
+            neighbours = []
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < width and 0 <= ny * width + nx < self.num_nodes:
+                    neighbours.append(ny * width + nx)
+            neighbours = [n for n in neighbours if 0 <= n < self.num_nodes]
+            if neighbours:
+                return self.rng.choice(neighbours)
+        return self._pick_other(src)
+
+    def _make_packet(
+        self, src: int, dst: int, msg_class: MessageClass, cycle: int
+    ) -> Packet:
+        packet = Packet(self._next_pid, src, dst, msg_class, gen_cycle=cycle)
+        self._next_pid += 1
+        return packet
+
+    # ------------------------------------------------------------------
+    # TrafficSource interface
+    # ------------------------------------------------------------------
+    def generate(self, fabric: Fabric, cycle: int) -> None:
+        rng = self.rng
+        cfg = self.config
+        for node in range(self.num_nodes):
+            if self.outstanding[node] >= cfg.mshrs_per_node:
+                continue
+            if self.total_transactions is not None and self.issued >= self.total_transactions:
+                return
+            if rng.random() >= self.issue_probability:
+                continue
+            if fabric.injection_space(node, MessageClass.REQ) <= 0:
+                continue  # retried implicitly next cycle; MSHR not yet taken
+            home = self._pick_home(node)
+            req = self._make_packet(node, home, MessageClass.REQ, cycle)
+            req.txn_id = self._next_txn
+            self._next_txn += 1
+            req.needs_fwd = rng.random() < cfg.forward_probability
+            if req.needs_fwd:
+                req.fwd_target = self._pick_other(node, home)
+            if fabric.offer_packet(req):
+                self.outstanding[node] += 1
+                self.issued += 1
+
+    def consume(self, fabric: Fabric, cycle: int) -> None:
+        """Per-cycle NI/directory/cache processing at every node.
+
+        One message per class per node per cycle, and — crucially —
+        consuming a REQ or FWD requires free injection space for the
+        dependent message it spawns; otherwise it stays in its ejection
+        queue and backpressures the network.
+        """
+        for node in range(self.num_nodes):
+            # Responses: the sink class, always consumable.
+            resp = fabric.peek_ejection(node, MessageClass.RESP)
+            if resp is not None:
+                fabric.pop_ejection(node, MessageClass.RESP)
+                self.outstanding[node] -= 1
+                self.completed += 1
+                fabric.stats.transactions_completed += 1
+
+            # Forwards: the cache must inject a RESP to the original
+            # requester (carried in fwd_target).
+            fwd = fabric.peek_ejection(node, MessageClass.FWD)
+            if fwd is not None and fabric.injection_space(node, MessageClass.RESP) > 0:
+                requester = fwd.fwd_target
+                fabric.pop_ejection(node, MessageClass.FWD)
+                resp_pkt = self._make_packet(node, requester, MessageClass.RESP, cycle)
+                resp_pkt.txn_id = fwd.txn_id
+                if not fabric.offer_packet(resp_pkt):
+                    raise AssertionError("injection space vanished within a cycle")
+
+            # Requests at the home directory.
+            req = fabric.peek_ejection(node, MessageClass.REQ)
+            if req is not None:
+                if req.needs_fwd:
+                    if fabric.injection_space(node, MessageClass.FWD) > 0:
+                        fabric.pop_ejection(node, MessageClass.REQ)
+                        fwd_pkt = self._make_packet(
+                            node, req.fwd_target, MessageClass.FWD, cycle
+                        )
+                        fwd_pkt.txn_id = req.txn_id
+                        fwd_pkt.fwd_target = req.src  # original requester
+                        if not fabric.offer_packet(fwd_pkt):
+                            raise AssertionError(
+                                "injection space vanished within a cycle"
+                            )
+                else:
+                    if fabric.injection_space(node, MessageClass.RESP) > 0:
+                        fabric.pop_ejection(node, MessageClass.REQ)
+                        resp_pkt = self._make_packet(
+                            node, req.src, MessageClass.RESP, cycle
+                        )
+                        resp_pkt.txn_id = req.txn_id
+                        if not fabric.offer_packet(resp_pkt):
+                            raise AssertionError(
+                                "injection space vanished within a cycle"
+                            )
+
+    def done(self) -> bool:
+        return (
+            self.total_transactions is not None
+            and self.completed >= self.total_transactions
+        )
+
+    def in_flight(self) -> int:
+        return self.issued - self.completed

@@ -1,0 +1,5 @@
+"""Router-level building blocks: packets and message classes."""
+
+from .packet import MessageClass, Packet
+
+__all__ = ["MessageClass", "Packet"]

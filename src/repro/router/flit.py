@@ -1,0 +1,72 @@
+"""Flits for wormhole (flit-based) flow control.
+
+Section III-C3 of the paper: DRAIN is straightforward under virtual
+cut-through (the configuration evaluated), but it also supports wormhole
+networks by *truncating* packets: when a drain forces the flits of a
+packet to turn while its tail is still upstream, the router encodes the
+last downstream flit as a tail and gives the upstream remainder a new
+header; the destination's MSHRs buffer flits until the whole original
+packet has arrived and reassembles it.
+
+A flit carries identity of its parent packet plus its index within it, so
+reassembly and exactly-once accounting are checkable.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from .packet import Packet
+
+__all__ = ["FlitType", "Flit"]
+
+
+class FlitType(IntEnum):
+    HEAD = 0
+    BODY = 1
+    TAIL = 2
+    HEAD_TAIL = 3  # single-flit packet
+
+
+class Flit:
+    """One flit of a (possibly truncated) wormhole packet."""
+
+    __slots__ = ("packet", "index", "kind", "segment", "moved_at")
+
+    def __init__(self, packet: Packet, index: int, kind: FlitType,
+                 segment: int = 0) -> None:
+        self.packet = packet  # parent packet (identity + route state)
+        self.index = index  # position within the ORIGINAL packet
+        self.kind = kind
+        #: Truncation generation: bumped every time draining splits the
+        #: packet; flits of different segments travel independently.
+        self.segment = segment
+        #: Cycle of the last traversal — a flit that arrived this cycle may
+        #: not depart again until the next (1-cycle router latency).
+        self.moved_at = -1
+
+    @property
+    def is_head(self) -> bool:
+        return self.kind in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self.kind in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+    def __repr__(self) -> str:
+        return (
+            f"Flit(pkt={self.packet.pid}, idx={self.index}, "
+            f"{self.kind.name}, seg={self.segment})"
+        )
+
+
+def make_flits(packet: Packet, num_flits: int) -> list:
+    """Split *packet* into its wire flits."""
+    if num_flits < 1:
+        raise ValueError("a packet needs at least one flit")
+    if num_flits == 1:
+        return [Flit(packet, 0, FlitType.HEAD_TAIL)]
+    flits = [Flit(packet, 0, FlitType.HEAD)]
+    for i in range(1, num_flits - 1):
+        flits.append(Flit(packet, i, FlitType.BODY))
+    flits.append(Flit(packet, num_flits - 1, FlitType.TAIL))
+    return flits

@@ -1,0 +1,116 @@
+"""Packets and message classes.
+
+The simulator uses virtual cut-through with a single packet per VC
+(Table II: "Buffer Organization: Virtual Cut Through. Single packet per
+VC"), so the packet — not the flit — is the unit of buffering and of link
+traversal. Flit-based (wormhole) flow control with packet truncation is
+discussed in Section III-C3 of the paper; the VCT configuration evaluated
+in the paper is what we model.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+__all__ = ["MessageClass", "Packet"]
+
+
+class MessageClass(IntEnum):
+    """Coherence message classes (one virtual network each in the baselines).
+
+    A MESI-style protocol needs the first three (Table II: VNet=3):
+    requests, forwarded requests/invalidations, and responses. A
+    MOESI-style protocol (Section V-A: "MOESI requires six virtual
+    networks") additionally uses writebacks, writeback acks and unblocks.
+    Classes whose consumption never requires injecting another message
+    (sinks) guarantee their ejection queues always drain (Section III-D2):
+    WB_ACK and UNBLOCK are sinks in the MOESI model; RESP is a sink in the
+    MESI model.
+    """
+
+    REQ = 0
+    FWD = 1
+    RESP = 2
+    WB = 3
+    WB_ACK = 4
+    UNBLOCK = 5
+
+
+class Packet:
+    """A single-flit packet in flight.
+
+    Mutable bookkeeping (hops, misroutes, escape state) is updated by the
+    fabric as the packet moves; identity fields are fixed at creation.
+    """
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "msg_class",
+        "vn",
+        "gen_cycle",
+        "net_entry_cycle",
+        "eject_cycle",
+        "hops",
+        "misroutes",
+        "drain_moves",
+        "spin_moves",
+        "in_escape",
+        "updown_up_phase",
+        "blocked_since",
+        "needs_fwd",
+        "fwd_target",
+        "txn_id",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        src: int,
+        dst: int,
+        msg_class: MessageClass = MessageClass.REQ,
+        gen_cycle: int = 0,
+    ) -> None:
+        if src == dst:
+            raise ValueError("packet source and destination must differ")
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.msg_class = msg_class
+        self.vn = 0  # assigned at injection: msg_class % num_vns
+        self.gen_cycle = gen_cycle
+        self.net_entry_cycle: Optional[int] = None
+        self.eject_cycle: Optional[int] = None
+        self.hops = 0
+        self.misroutes = 0
+        self.drain_moves = 0
+        self.spin_moves = 0
+        self.in_escape = False  # sticky once the packet enters an escape VC
+        self.updown_up_phase = True  # up*/down*: may still traverse up links
+        self.blocked_since: Optional[int] = None  # SPIN timeout bookkeeping
+        # Protocol-model payload (meaningful for REQ packets only).
+        self.needs_fwd = False
+        self.fwd_target: Optional[int] = None
+        self.txn_id: Optional[int] = None
+
+    @property
+    def latency(self) -> int:
+        """End-to-end latency in cycles (generation to ejection)."""
+        if self.eject_cycle is None:
+            raise ValueError(f"packet {self.pid} has not been ejected")
+        return self.eject_cycle - self.gen_cycle
+
+    @property
+    def network_latency(self) -> int:
+        """In-network latency (injection-VC entry to ejection)."""
+        if self.eject_cycle is None or self.net_entry_cycle is None:
+            raise ValueError(f"packet {self.pid} has not traversed the network")
+        return self.eject_cycle - self.net_entry_cycle
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(pid={self.pid}, {self.src}->{self.dst}, "
+            f"{self.msg_class.name}, hops={self.hops})"
+        )

@@ -1,0 +1,13 @@
+"""Routing functions: adaptive, dimension-order and up*/down*."""
+
+from .adaptive import AdaptiveMinimalRouting
+from .base import RoutingFunction
+from .dor import DimensionOrderRouting
+from .updown import UpDownRouting
+
+__all__ = [
+    "RoutingFunction",
+    "AdaptiveMinimalRouting",
+    "DimensionOrderRouting",
+    "UpDownRouting",
+]

@@ -1,0 +1,54 @@
+"""Fully adaptive minimal routing (Table II: "Fully adaptive random").
+
+Every output link that lies on *some* shortest path to the destination is a
+candidate; the allocator breaks ties (randomised rotation), which yields
+the paper's fully-adaptive-random behaviour. No turn restrictions are
+imposed, so this routing function is **not** deadlock-free — exactly the
+regime DRAIN and SPIN operate in, and the routing used for the Figure 3
+deadlock-likelihood study.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..network.index import FabricIndex
+from ..router.packet import Packet
+from .base import RoutingFunction
+
+__all__ = ["AdaptiveMinimalRouting"]
+
+
+class AdaptiveMinimalRouting(RoutingFunction):
+    """Table-driven minimal adaptive routing over an arbitrary topology."""
+
+    deadlock_free = False
+
+    def __init__(self, index: FabricIndex) -> None:
+        self.index = index
+        dist = index.dist
+        n = index.num_nodes
+        # productive[router][dst] = link ids one hop closer to dst.
+        self._productive: List[List[List[int]]] = [[[] for _ in range(n)] for _ in range(n)]
+        for router in range(n):
+            for link in index.out_links[router]:
+                neighbor = index.link_dst[link]
+                for dst in range(n):
+                    if dst == router:
+                        continue
+                    if dist[neighbor][dst] == dist[router][dst] - 1:
+                        self._productive[router][dst].append(link)
+        for router in range(n):
+            for dst in range(n):
+                if dst != router and not self._productive[router][dst]:
+                    raise ValueError(
+                        f"no productive link from {router} to {dst}: "
+                        "topology must be connected"
+                    )
+
+    def candidates(self, router: int, packet: Packet) -> List[int]:
+        return self._productive[router][packet.dst]
+
+    def raw_candidates(self, router: int, dst: int) -> List[int]:
+        """Productive links for an explicit (router, dst) pair (test hook)."""
+        return list(self._productive[router][dst])

@@ -1,0 +1,41 @@
+"""Routing-function interface.
+
+A routing function answers one question for the fabric's allocator: given a
+packet's current router, its destination and its routing state, which
+output links may it take next? Candidates are returned as link ids in the
+shared :class:`~repro.network.index.FabricIndex` numbering.
+
+Routing functions are table-driven — all shortest-path / legality
+computation happens at construction time, so per-cycle routing is a list
+lookup (the hardware analogue: route-computation tables filled at boot).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+from ..router.packet import Packet
+
+__all__ = ["RoutingFunction"]
+
+
+class RoutingFunction(ABC):
+    """Abstract table-driven routing function."""
+
+    #: True when the function is deadlock-free by construction (used by the
+    #: scheme layer to decide whether an escape mechanism is required).
+    deadlock_free: bool = False
+
+    @abstractmethod
+    def candidates(self, router: int, packet: Packet) -> List[int]:
+        """Output link ids *packet* may take from *router* (dst != router)."""
+
+    def on_hop(self, packet: Packet, link_id: int) -> None:
+        """Update per-packet routing state after traversing *link_id*.
+
+        Default: no state. Up*/down* overrides this to latch the phase bit.
+        """
+
+    def on_inject(self, packet: Packet) -> None:
+        """Initialise per-packet routing state at injection."""

@@ -1,0 +1,143 @@
+"""Up*/down* routing [9] — the turn-restriction baseline for irregular networks.
+
+Routers are numbered by BFS discovery order from a root. Each
+unidirectional link is classified *up* (towards a lower number / the root)
+or *down*. A legal route is any sequence of zero or more up links followed
+by zero or more down links; the forbidden down->up turn breaks every cyclic
+channel dependency, making the function deadlock-free on any connected
+topology — at the cost of non-minimal paths (the performance gap quantified
+by Figure 5 of the paper).
+
+Routes are precomputed by BFS over the product graph of (router, phase)
+states, so the function is *adaptive within legality*: all legal next hops
+on shortest legal paths are offered as candidates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Tuple
+
+from ..network.index import FabricIndex
+from ..router.packet import Packet
+from .base import RoutingFunction
+
+__all__ = ["UpDownRouting"]
+
+
+class UpDownRouting(RoutingFunction):
+    """Adaptive shortest-path up*/down* routing over an arbitrary topology."""
+
+    deadlock_free = True
+
+    def __init__(self, index: FabricIndex, root: int = 0,
+                 deterministic: bool = False) -> None:
+        """*deterministic* selects the classic single-path variant: each
+        (router, phase, destination) uses one fixed legal next hop, as in
+        conventional up*/down* implementations [9]. The default offers all
+        legal shortest next hops (adaptive-within-legality)."""
+        self.index = index
+        self.root = root
+        self.deterministic = deterministic
+        topology = index.topology
+        n = index.num_nodes
+
+        # BFS numbering from the root: lower number == closer to the root.
+        order = topology.bfs_distances(root)
+        self.label: List[Tuple[int, int]] = [(order[r], r) for r in range(n)]
+        # (distance, id) pairs give the required unique total ordering.
+
+        # Link classification: "up" goes towards a smaller label.
+        self.link_is_up: List[bool] = [
+            self.label[index.link_dst[i]] < self.label[index.link_src[i]]
+            for i in range(index.num_links)
+        ]
+
+        # Reverse product-graph adjacency for per-destination BFS.
+        # State encoding: state = 2*router + (1 if up-phase else 0).
+        rev: List[List[Tuple[int, int]]] = [[] for _ in range(2 * n)]
+        for link in range(index.num_links):
+            src = index.link_src[link]
+            dst = index.link_dst[link]
+            if self.link_is_up[link]:
+                # Legal only from the up phase; stays in the up phase.
+                rev[2 * dst + 1].append((2 * src + 1, link))
+            else:
+                # Down move: legal from either phase; lands in down phase.
+                rev[2 * dst + 0].append((2 * src + 1, link))
+                rev[2 * dst + 0].append((2 * src + 0, link))
+
+        # hops[dst][state] = legal shortest distance; next_hops[dst][state]
+        # = all (link, lands_in_up_phase) choices on such paths.
+        self._hops: List[List[int]] = []
+        self._next: List[List[List[Tuple[int, bool]]]] = []
+        for dst in range(n):
+            dist = [-1] * (2 * n)
+            frontier = deque()
+            for phase_state in (2 * dst, 2 * dst + 1):
+                dist[phase_state] = 0
+                frontier.append(phase_state)
+            while frontier:
+                state = frontier.popleft()
+                for prev_state, _link in rev[state]:
+                    if dist[prev_state] < 0:
+                        dist[prev_state] = dist[state] + 1
+                        frontier.append(prev_state)
+            choices: List[List[Tuple[int, bool]]] = [[] for _ in range(2 * n)]
+            for state in range(2 * n):
+                for prev_state, link in rev[state]:
+                    if dist[prev_state] == dist[state] + 1:
+                        choices[prev_state].append((link, state % 2 == 1))
+            self._hops.append(dist)
+            self._next.append(choices)
+
+        for dst in range(n):
+            for router in range(n):
+                if router != dst and self._hops[dst][2 * router + 1] < 0:
+                    raise ValueError(
+                        f"up*/down* cannot route {router} -> {dst}: "
+                        "topology must be connected"
+                    )
+
+    # ------------------------------------------------------------------
+    # RoutingFunction interface
+    # ------------------------------------------------------------------
+    def on_inject(self, packet: Packet) -> None:
+        packet.updown_up_phase = True
+
+    def on_hop(self, packet: Packet, link_id: int) -> None:
+        if not self.link_is_up[link_id]:
+            packet.updown_up_phase = False
+
+    def candidates(self, router: int, packet: Packet) -> List[int]:
+        state = 2 * router + (1 if packet.updown_up_phase else 0)
+        links = [link for link, _up in self._next[packet.dst][state]]
+        if self.deterministic and links:
+            return [min(links)]
+        return links
+
+    # ------------------------------------------------------------------
+    # Analysis hooks
+    # ------------------------------------------------------------------
+    def route_length(self, src: int, dst: int) -> int:
+        """Shortest legal path length from a freshly injected packet."""
+        if src == dst:
+            return 0
+        return self._hops[dst][2 * src + 1]
+
+    def average_route_length(self) -> float:
+        """Mean legal route length over all ordered pairs (Figure 5 input)."""
+        n = self.index.num_nodes
+        total = 0
+        pairs = 0
+        for src in range(n):
+            for dst in range(n):
+                if src != dst:
+                    total += self.route_length(src, dst)
+                    pairs += 1
+        return total / pairs if pairs else 0.0
+
+    def non_minimality(self) -> float:
+        """Ratio of mean up*/down* route length to mean minimal distance."""
+        minimal = self.index.topology.average_distance()
+        return self.average_route_length() / minimal if minimal else 1.0

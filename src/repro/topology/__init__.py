@@ -1,0 +1,32 @@
+"""Topology substrate: graphs, builders (regular, chiplet, random), faults, turn graphs."""
+
+from .chiplet import ChipletSystem, make_chiplet_system, make_dual_chiplet
+from .dependency import DependencyGraph, build_dependency_graph
+from .graph import Link, Topology
+from .irregular import (
+    inject_link_faults,
+    random_connected_topology,
+    random_fault_patterns,
+)
+from .mesh import coords_of, make_mesh, make_ring, make_torus, node_at
+from .randomized import make_random_regular, make_small_world
+
+__all__ = [
+    "Link",
+    "Topology",
+    "DependencyGraph",
+    "build_dependency_graph",
+    "make_mesh",
+    "make_torus",
+    "make_ring",
+    "node_at",
+    "coords_of",
+    "inject_link_faults",
+    "random_fault_patterns",
+    "random_connected_topology",
+    "ChipletSystem",
+    "make_chiplet_system",
+    "make_dual_chiplet",
+    "make_small_world",
+    "make_random_regular",
+]

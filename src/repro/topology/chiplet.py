@@ -1,0 +1,149 @@
+"""Chiplet-based heterogeneous systems (Section VI of the paper).
+
+Chiplet architectures connect multiple independently designed networks
+through an interposer. Even if each chiplet network is deadlock-free in
+isolation, the composition generally is not; the conventional fix is turn
+restrictions at chiplet boundaries, which cost performance. DRAIN needs
+only a drain path over the *composed* network — which this module's
+builders guarantee exists (the composed network is still connected and
+bidirectional, so the Euler-circuit argument holds unchanged).
+
+Builders:
+
+- :func:`make_chiplet_system` — N mesh chiplets around an interposer mesh,
+  each chiplet attached by one or more vertical links;
+- :func:`make_dual_chiplet` — the minimal two-chiplet bridge case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .graph import Topology
+from .mesh import make_mesh, node_at
+
+__all__ = ["ChipletSystem", "make_chiplet_system", "make_dual_chiplet"]
+
+
+class ChipletSystem:
+    """A composed topology plus the bookkeeping of its parts."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        chiplet_nodes: List[List[int]],
+        interposer_nodes: List[int],
+        boundary_links: List[Tuple[int, int]],
+    ) -> None:
+        self.topology = topology
+        self.chiplet_nodes = chiplet_nodes
+        self.interposer_nodes = interposer_nodes
+        self.boundary_links = boundary_links
+
+    @property
+    def num_chiplets(self) -> int:
+        return len(self.chiplet_nodes)
+
+    def chiplet_of(self, node: int) -> Optional[int]:
+        """Index of the chiplet containing *node*; None for interposer nodes."""
+        for i, nodes in enumerate(self.chiplet_nodes):
+            if node in nodes:
+                return i
+        return None
+
+    def is_boundary_link(self, a: int, b: int) -> bool:
+        return (a, b) in self.boundary_links or (b, a) in self.boundary_links
+
+    def __repr__(self) -> str:
+        return (
+            f"ChipletSystem(chiplets={self.num_chiplets}, "
+            f"nodes={self.topology.num_nodes}, "
+            f"boundary_links={len(self.boundary_links)})"
+        )
+
+
+def make_chiplet_system(
+    chiplet_width: int = 2,
+    chiplet_height: int = 2,
+    num_chiplets: int = 4,
+    interposer_width: Optional[int] = None,
+    links_per_chiplet: int = 1,
+) -> ChipletSystem:
+    """Compose *num_chiplets* meshes over an interposer mesh.
+
+    Node numbering: chiplet 0's nodes come first, then chiplet 1's, ...,
+    then the interposer's. Each chiplet's node ``k`` attaches to interposer
+    node ``chiplet_index * links_per_chiplet + k`` for its first
+    ``links_per_chiplet`` nodes, modulo the interposer size.
+    """
+    if num_chiplets < 1:
+        raise ValueError("need at least one chiplet")
+    if links_per_chiplet < 1:
+        raise ValueError("each chiplet needs at least one boundary link")
+    chiplet_size = chiplet_width * chiplet_height
+    if links_per_chiplet > chiplet_size:
+        raise ValueError("more boundary links than chiplet nodes")
+    if interposer_width is None:
+        interposer_width = max(2, num_chiplets)
+    interposer_size = interposer_width * interposer_width
+
+    total = num_chiplets * chiplet_size + interposer_size
+    edges: List[Tuple[int, int]] = []
+    chiplet_nodes: List[List[int]] = []
+
+    chiplet_mesh = make_mesh(chiplet_width, chiplet_height)
+    for c in range(num_chiplets):
+        offset = c * chiplet_size
+        chiplet_nodes.append(list(range(offset, offset + chiplet_size)))
+        for a, b in chiplet_mesh.bidirectional_links():
+            edges.append((offset + a, offset + b))
+
+    interposer_offset = num_chiplets * chiplet_size
+    interposer_nodes = list(range(interposer_offset, interposer_offset + interposer_size))
+    interposer_mesh = make_mesh(interposer_width, interposer_width)
+    for a, b in interposer_mesh.bidirectional_links():
+        edges.append((interposer_offset + a, interposer_offset + b))
+
+    boundary: List[Tuple[int, int]] = []
+    for c in range(num_chiplets):
+        for k in range(links_per_chiplet):
+            chiplet_node = c * chiplet_size + k
+            interposer_node = interposer_offset + (
+                (c * links_per_chiplet + k) % interposer_size
+            )
+            edges.append((chiplet_node, interposer_node))
+            boundary.append((chiplet_node, interposer_node))
+
+    topology = Topology(
+        total, edges,
+        name=f"chiplet-{num_chiplets}x{chiplet_width}x{chiplet_height}",
+    )
+    if not topology.is_connected():
+        raise AssertionError("composed chiplet system must be connected")
+    return ChipletSystem(topology, chiplet_nodes, interposer_nodes, boundary)
+
+
+def make_dual_chiplet(width: int = 3, height: int = 3,
+                      bridges: int = 1) -> ChipletSystem:
+    """Two mesh chiplets joined directly by *bridges* links (no interposer)."""
+    if bridges < 1 or bridges > height:
+        raise ValueError("bridges must be between 1 and the chiplet height")
+    size = width * height
+    edges: List[Tuple[int, int]] = []
+    mesh = make_mesh(width, height)
+    for offset in (0, size):
+        for a, b in mesh.bidirectional_links():
+            edges.append((offset + a, offset + b))
+    boundary = []
+    for row in range(bridges):
+        left = node_at(width - 1, row, width)  # east edge of chiplet 0
+        right = size + node_at(0, row, width)  # west edge of chiplet 1
+        edges.append((left, right))
+        boundary.append((left, right))
+    topology = Topology(2 * size, edges, name=f"dual-chiplet-{width}x{height}")
+    return ChipletSystem(
+        topology,
+        [list(range(size)), list(range(size, 2 * size))],
+        [],
+        boundary,
+    )

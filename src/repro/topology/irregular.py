@@ -1,0 +1,112 @@
+"""Fault injection: turning regular meshes into irregular topologies.
+
+Following the paper's methodology (Section IV), faults are injected as
+random bidirectional link failures while guaranteeing that the network
+stays connected, so every source/destination pair remains routable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from .graph import Topology
+
+__all__ = ["inject_link_faults", "random_fault_patterns", "random_connected_topology"]
+
+
+def inject_link_faults(
+    topology: Topology,
+    num_faults: int,
+    rng: random.Random,
+    max_attempts: int = 10_000,
+) -> Topology:
+    """Return a copy of *topology* with *num_faults* bidirectional links removed.
+
+    Links are chosen uniformly at random, rejecting any removal that would
+    disconnect the network (the paper keeps all nodes connected). Raises
+    ``ValueError`` if the requested fault count cannot be reached, e.g. when
+    every remaining link is a bridge.
+    """
+    if num_faults < 0:
+        raise ValueError("num_faults must be non-negative")
+    faulty = topology.copy()
+    faulty.name = f"{topology.name}-f{num_faults}"
+    removed = 0
+    attempts = 0
+    while removed < num_faults:
+        candidates = faulty.bidirectional_links()
+        if not candidates:
+            raise ValueError("no links left to remove")
+        progressed = False
+        rng.shuffle(candidates)
+        for a, b in candidates:
+            attempts += 1
+            if attempts > max_attempts:
+                raise ValueError(
+                    f"could not inject {num_faults} faults into {topology.name}: "
+                    f"gave up after {max_attempts} attempts"
+                )
+            faulty.remove_edge(a, b)
+            if faulty.is_connected():
+                removed += 1
+                progressed = True
+                break
+            faulty.add_edge(a, b)
+        if not progressed:
+            raise ValueError(
+                f"cannot remove {num_faults} links from {topology.name} "
+                f"without disconnecting it (removed {removed})"
+            )
+    return faulty
+
+
+def random_fault_patterns(
+    topology: Topology,
+    num_faults: int,
+    num_patterns: int,
+    seed: int,
+) -> List[Topology]:
+    """Generate *num_patterns* independent faulty variants of *topology*.
+
+    This mirrors the paper's methodology of averaging each fault count over
+    10 randomly selected fault patterns.
+    """
+    patterns = []
+    for trial in range(num_patterns):
+        rng = random.Random((seed << 16) ^ (num_faults * 7919) ^ trial)
+        patterns.append(inject_link_faults(topology, num_faults, rng))
+    return patterns
+
+
+def random_connected_topology(
+    num_nodes: int,
+    extra_edges: int,
+    rng: random.Random,
+) -> Topology:
+    """Build a random connected topology: a random tree plus extra links.
+
+    Used by the property-based tests and by the "random topologies"
+    discussion of Section VI (Koibuchi-style random shortcut networks).
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least two routers")
+    edges: List[Tuple[int, int]] = []
+    # Random spanning tree: attach each node to a random earlier node.
+    for n in range(1, num_nodes):
+        edges.append((rng.randrange(n), n))
+    present = {tuple(sorted(e)) for e in edges}
+    possible = num_nodes * (num_nodes - 1) // 2 - len(present)
+    extra = min(extra_edges, possible)
+    while extra > 0:
+        a = rng.randrange(num_nodes)
+        b = rng.randrange(num_nodes)
+        if a == b:
+            continue
+        key: Tuple[int, int] = tuple(sorted((a, b)))  # type: ignore[assignment]
+        if key in present:
+            continue
+        present.add(key)
+        edges.append(key)
+        extra -= 1
+    return Topology(num_nodes, edges, name=f"random-{num_nodes}")

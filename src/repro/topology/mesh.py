@@ -1,0 +1,83 @@
+"""Regular topology builders: 2D mesh, 2D torus, and ring.
+
+The paper evaluates 4x4 and 8x8 meshes (Table II); tori and rings are
+provided because DRAIN is topology-agnostic and the test suite exercises
+the drain-path algorithm on all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .graph import Topology
+
+__all__ = ["make_mesh", "make_torus", "make_ring", "node_at", "coords_of"]
+
+
+def node_at(x: int, y: int, width: int) -> int:
+    """Router id of mesh coordinate (x, y) in row-major order."""
+    return y * width + x
+
+
+def coords_of(node: int, width: int) -> Tuple[int, int]:
+    """Mesh coordinate (x, y) of router id *node*."""
+    return node % width, node // width
+
+
+def make_mesh(width: int, height: int) -> Topology:
+    """Build a *width* x *height* 2D mesh."""
+    if width < 1 or height < 1 or width * height < 2:
+        raise ValueError("mesh must contain at least two routers")
+    edges = []
+    coordinates: Dict[int, Tuple[int, int]] = {}
+    for y in range(height):
+        for x in range(width):
+            n = node_at(x, y, width)
+            coordinates[n] = (x, y)
+            if x + 1 < width:
+                edges.append((n, node_at(x + 1, y, width)))
+            if y + 1 < height:
+                edges.append((n, node_at(x, y + 1, width)))
+    return Topology(
+        width * height,
+        edges,
+        name=f"mesh-{width}x{height}",
+        coordinates=coordinates,
+    )
+
+
+def make_torus(width: int, height: int) -> Topology:
+    """Build a *width* x *height* 2D torus (wrap-around mesh).
+
+    Widths/heights of 2 would create duplicate links between the same pair,
+    which the simple-graph topology model rejects, so both dimensions must
+    be 1 or at least 3.
+    """
+    if width * height < 2:
+        raise ValueError("torus must contain at least two routers")
+    if width == 2 or height == 2:
+        raise ValueError("torus dimensions of exactly 2 create duplicate links")
+    edges = set()
+    coordinates: Dict[int, Tuple[int, int]] = {}
+    for y in range(height):
+        for x in range(width):
+            n = node_at(x, y, width)
+            coordinates[n] = (x, y)
+            if width > 1:
+                edges.add(tuple(sorted((n, node_at((x + 1) % width, y, width)))))
+            if height > 1:
+                edges.add(tuple(sorted((n, node_at(x, (y + 1) % height, width)))))
+    return Topology(
+        width * height,
+        sorted(edges),
+        name=f"torus-{width}x{height}",
+        coordinates=coordinates,
+    )
+
+
+def make_ring(num_nodes: int) -> Topology:
+    """Build a bidirectional ring of *num_nodes* routers."""
+    if num_nodes < 3:
+        raise ValueError("a ring needs at least three routers")
+    edges = [(n, (n + 1) % num_nodes) for n in range(num_nodes)]
+    return Topology(num_nodes, edges, name=f"ring-{num_nodes}")

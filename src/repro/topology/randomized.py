@@ -1,0 +1,94 @@
+"""Random and small-world topologies (Section VI of the paper).
+
+The paper argues DRAIN particularly helps topologies where deadlock-free
+routing is hard to construct: random shortcut networks (Koibuchi et al.
+[31]) and low-radix random-regular designs (Dodec [18]). These builders
+produce such topologies; the Euler-circuit drain-path argument covers all
+of them unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+from .graph import Topology
+from .mesh import make_ring
+
+__all__ = ["make_small_world", "make_random_regular"]
+
+
+def make_small_world(
+    num_nodes: int,
+    shortcuts: int,
+    rng: random.Random,
+) -> Topology:
+    """A ring plus *shortcuts* random long-range links (Koibuchi-style).
+
+    Random shortcuts slash the diameter of the base ring — the property
+    that makes random topologies attractive — while making turn-restricted
+    deadlock-free routing awkward, which is DRAIN's opportunity.
+    """
+    if num_nodes < 4:
+        raise ValueError("small-world topologies need at least four nodes")
+    base = make_ring(num_nodes)
+    edges: Set[Tuple[int, int]] = set(base.bidirectional_links())
+    possible = num_nodes * (num_nodes - 1) // 2 - len(edges)
+    budget = min(shortcuts, possible)
+    while budget > 0:
+        a = rng.randrange(num_nodes)
+        b = rng.randrange(num_nodes)
+        if a == b:
+            continue
+        key: Tuple[int, int] = (min(a, b), max(a, b))
+        if key in edges:
+            continue
+        edges.add(key)
+        budget -= 1
+    return Topology(
+        num_nodes, sorted(edges), name=f"smallworld-{num_nodes}+{shortcuts}"
+    )
+
+
+def make_random_regular(
+    num_nodes: int,
+    degree: int,
+    rng: random.Random,
+    max_attempts: int = 200,
+) -> Topology:
+    """A connected random *degree*-regular topology (Dodec-flavoured).
+
+    Uses the pairing model with retries: stubs are matched uniformly at
+    random, rejecting self-loops, duplicate links and disconnected
+    outcomes. ``num_nodes * degree`` must be even.
+    """
+    if degree < 2:
+        raise ValueError("degree must be at least 2 for connectivity")
+    if degree >= num_nodes:
+        raise ValueError("degree must be below the node count")
+    if (num_nodes * degree) % 2:
+        raise ValueError("num_nodes * degree must be even")
+    for _ in range(max_attempts):
+        stubs: List[int] = [n for n in range(num_nodes) for _ in range(degree)]
+        rng.shuffle(stubs)
+        edges: Set[Tuple[int, int]] = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            a, b = stubs[i], stubs[i + 1]
+            key = (min(a, b), max(a, b))
+            if a == b or key in edges:
+                ok = False
+                break
+            edges.add(key)
+        if not ok:
+            continue
+        topo = Topology(
+            num_nodes, sorted(edges),
+            name=f"randomregular-{num_nodes}d{degree}",
+        )
+        if topo.is_connected():
+            return topo
+    raise ValueError(
+        f"could not build a connected {degree}-regular graph on "
+        f"{num_nodes} nodes in {max_attempts} attempts"
+    )

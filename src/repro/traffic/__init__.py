@@ -1,0 +1,59 @@
+"""Traffic: synthetic patterns, trace record/replay, application workloads."""
+
+from .trace import (
+    TraceRecord,
+    TraceRecorder,
+    TraceTraffic,
+    load_trace,
+    record_synthetic,
+    save_trace,
+)
+from .synthetic import (
+    BitComplement,
+    BitReverse,
+    BitShuffle,
+    Hotspot,
+    NearestNeighbor,
+    SyntheticTraffic,
+    Tornado,
+    TrafficPattern,
+    Transpose,
+    UniformRandom,
+    pattern_by_name,
+)
+from .workloads import (
+    ALL_WORKLOADS,
+    LIGRA,
+    PARSEC,
+    SPLASH2,
+    WorkloadProfile,
+    make_workload_traffic,
+    workload_by_name,
+)
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandom",
+    "Transpose",
+    "BitComplement",
+    "BitShuffle",
+    "BitReverse",
+    "Tornado",
+    "NearestNeighbor",
+    "Hotspot",
+    "SyntheticTraffic",
+    "pattern_by_name",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceTraffic",
+    "load_trace",
+    "save_trace",
+    "record_synthetic",
+    "WorkloadProfile",
+    "PARSEC",
+    "SPLASH2",
+    "LIGRA",
+    "ALL_WORKLOADS",
+    "workload_by_name",
+    "make_workload_traffic",
+]

@@ -1,0 +1,296 @@
+"""Synthetic traffic patterns and the open-loop Bernoulli injector.
+
+These are the standard NoC evaluation patterns used in the paper's
+Figures 10, 11 and 14: uniform random and transpose (plus the usual
+bit-complement / shuffle / hotspot companions for completeness). The
+injector is open-loop: each node generates a packet with probability
+``injection_rate`` per cycle; generated packets wait in an unbounded
+source backlog until the NI injection queue accepts them, so measured
+latency includes source queueing.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from ..network.fabric import Fabric
+from ..router.packet import MessageClass, Packet
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandom",
+    "Transpose",
+    "BitComplement",
+    "BitShuffle",
+    "BitReverse",
+    "Tornado",
+    "NearestNeighbor",
+    "Hotspot",
+    "SyntheticTraffic",
+    "pattern_by_name",
+]
+
+
+class TrafficPattern(ABC):
+    """Maps a source node to a destination node."""
+
+    name = "abstract"
+
+    def __init__(self, num_nodes: int, mesh_width: Optional[int] = None) -> None:
+        if num_nodes < 2:
+            raise ValueError("patterns need at least two nodes")
+        self.num_nodes = num_nodes
+        self.mesh_width = mesh_width
+
+    @abstractmethod
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        """Destination for a packet from *src*; None when *src* never sends."""
+
+
+class UniformRandom(TrafficPattern):
+    """Every node sends to a uniformly random other node."""
+
+    name = "uniform_random"
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        dst = rng.randrange(self.num_nodes - 1)
+        return dst if dst < src else dst + 1
+
+
+class Transpose(TrafficPattern):
+    """Mesh transpose: (x, y) sends to (y, x); diagonal nodes stay silent."""
+
+    name = "transpose"
+
+    def __init__(self, num_nodes: int, mesh_width: Optional[int] = None) -> None:
+        super().__init__(num_nodes, mesh_width)
+        if mesh_width is None or num_nodes % mesh_width:
+            raise ValueError("transpose requires a rectangular mesh width")
+        height = num_nodes // mesh_width
+        if height != mesh_width:
+            raise ValueError("transpose requires a square mesh")
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        width = self.mesh_width
+        x, y = src % width, src // width
+        dst = x * width + y
+        return None if dst == src else dst
+
+
+class BitComplement(TrafficPattern):
+    """Node i sends to (~i) within the address space (power-of-two sizes)."""
+
+    name = "bit_complement"
+
+    def __init__(self, num_nodes: int, mesh_width: Optional[int] = None) -> None:
+        super().__init__(num_nodes, mesh_width)
+        if num_nodes & (num_nodes - 1):
+            raise ValueError("bit-complement requires a power-of-two node count")
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        dst = src ^ (self.num_nodes - 1)
+        return None if dst == src else dst
+
+
+class BitShuffle(TrafficPattern):
+    """Perfect shuffle: rotate the address bits left by one."""
+
+    name = "shuffle"
+
+    def __init__(self, num_nodes: int, mesh_width: Optional[int] = None) -> None:
+        super().__init__(num_nodes, mesh_width)
+        if num_nodes & (num_nodes - 1):
+            raise ValueError("shuffle requires a power-of-two node count")
+        self._bits = num_nodes.bit_length() - 1
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        bits = self._bits
+        dst = ((src << 1) | (src >> (bits - 1))) & (self.num_nodes - 1)
+        return None if dst == src else dst
+
+
+class Hotspot(TrafficPattern):
+    """Uniform random with extra probability mass on hotspot nodes."""
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        mesh_width: Optional[int] = None,
+        hotspots: Sequence[int] = (0,),
+        hotspot_fraction: float = 0.3,
+    ) -> None:
+        super().__init__(num_nodes, mesh_width)
+        if not hotspots:
+            raise ValueError("need at least one hotspot node")
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be a probability")
+        self.hotspots = list(hotspots)
+        self.hotspot_fraction = hotspot_fraction
+        self._uniform = UniformRandom(num_nodes, mesh_width)
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        if rng.random() < self.hotspot_fraction:
+            dst = self.hotspots[rng.randrange(len(self.hotspots))]
+            if dst != src:
+                return dst
+        return self._uniform.destination(src, rng)
+
+
+class BitReverse(TrafficPattern):
+    """Node i sends to the bit-reversal of its address."""
+
+    name = "bit_reverse"
+
+    def __init__(self, num_nodes: int, mesh_width: Optional[int] = None) -> None:
+        super().__init__(num_nodes, mesh_width)
+        if num_nodes & (num_nodes - 1):
+            raise ValueError("bit-reverse requires a power-of-two node count")
+        self._bits = num_nodes.bit_length() - 1
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        dst = 0
+        value = src
+        for _ in range(self._bits):
+            dst = (dst << 1) | (value & 1)
+            value >>= 1
+        return None if dst == src else dst
+
+
+class Tornado(TrafficPattern):
+    """Mesh tornado: (x, y) sends halfway across its row.
+
+    The classic adversarial pattern for ring/mesh load balance: every
+    packet travels ~width/2 hops in the same direction.
+    """
+
+    name = "tornado"
+
+    def __init__(self, num_nodes: int, mesh_width: Optional[int] = None) -> None:
+        super().__init__(num_nodes, mesh_width)
+        if mesh_width is None or num_nodes % mesh_width:
+            raise ValueError("tornado requires a rectangular mesh width")
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        width = self.mesh_width
+        x, y = src % width, src // width
+        shift = (width - 1) // 2
+        dst = y * width + (x + shift) % width
+        return None if dst == src else dst
+
+
+class NearestNeighbor(TrafficPattern):
+    """Each node sends to a uniformly random direct neighbour of a mesh."""
+
+    name = "nearest_neighbor"
+
+    def __init__(self, num_nodes: int, mesh_width: Optional[int] = None) -> None:
+        super().__init__(num_nodes, mesh_width)
+        if mesh_width is None or num_nodes % mesh_width:
+            raise ValueError("nearest-neighbour requires a mesh width")
+        self._height = num_nodes // mesh_width
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        width = self.mesh_width
+        x, y = src % width, src // width
+        options = []
+        if x + 1 < width:
+            options.append(src + 1)
+        if x > 0:
+            options.append(src - 1)
+        if y + 1 < self._height:
+            options.append(src + width)
+        if y > 0:
+            options.append(src - width)
+        return rng.choice(options) if options else None
+
+
+_PATTERNS = {
+    cls.name: cls
+    for cls in (UniformRandom, Transpose, BitComplement, BitShuffle, Hotspot,
+                BitReverse, Tornado, NearestNeighbor)
+}
+
+
+def pattern_by_name(
+    name: str, num_nodes: int, mesh_width: Optional[int] = None
+) -> TrafficPattern:
+    """Instantiate a pattern from its canonical name."""
+    try:
+        cls = _PATTERNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {name!r}; choose from {sorted(_PATTERNS)}"
+        ) from None
+    return cls(num_nodes, mesh_width)
+
+
+class SyntheticTraffic:
+    """Open-loop Bernoulli injector over a :class:`TrafficPattern`.
+
+    Synthetic packets all travel in message class REQ / virtual network 0
+    so that every scheme competes with identical buffer resources on the
+    VN actually carrying traffic (the paper's synthetic studies exercise
+    routing-level behaviour only).
+    """
+
+    def __init__(
+        self,
+        pattern: TrafficPattern,
+        injection_rate: float,
+        rng: random.Random,
+        msg_class: MessageClass = MessageClass.REQ,
+    ) -> None:
+        if not 0.0 <= injection_rate <= 1.0:
+            raise ValueError("injection_rate must be in [0, 1] packets/node/cycle")
+        self.pattern = pattern
+        self.injection_rate = injection_rate
+        self.rng = rng
+        self.msg_class = msg_class
+        self._backlog: List[Deque[Packet]] = [
+            deque() for _ in range(pattern.num_nodes)
+        ]
+        self._next_pid = 0
+        self.generated = 0
+
+    def generate(self, fabric: Fabric, cycle: int) -> None:
+        rng = self.rng
+        rate = self.injection_rate
+        for node in range(self.pattern.num_nodes):
+            if rng.random() < rate:
+                dst = self.pattern.destination(node, rng)
+                if dst is not None:
+                    packet = Packet(
+                        self._next_pid, node, dst, self.msg_class, gen_cycle=cycle
+                    )
+                    self._next_pid += 1
+                    self.generated += 1
+                    self._backlog[node].append(packet)
+            backlog = self._backlog[node]
+            while backlog and fabric.offer_packet(backlog[0]):
+                backlog.popleft()
+
+    def consume(self, fabric: Fabric, cycle: int) -> None:
+        """Sink every ejected packet immediately (ideal NI consumption).
+
+        The wormhole fabric has no NI ejection queues (flits reassemble at
+        the MSHRs and complete in place), so there is nothing to drain.
+        """
+        if not hasattr(fabric, "pop_ejection"):
+            return
+        for node in range(self.pattern.num_nodes):
+            queues = fabric.ej_queues[node]
+            for cls in range(len(queues)):
+                while queues[cls]:
+                    fabric.pop_ejection(node, MessageClass(cls))
+
+    def done(self) -> bool:
+        """Open-loop traffic never self-terminates."""
+        return False
+
+    def backlog_size(self) -> int:
+        return sum(len(b) for b in self._backlog)

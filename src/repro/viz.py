@@ -1,0 +1,125 @@
+"""Plain-text visualisation helpers.
+
+Render meshes (with faults), drain paths and measurement histograms as
+ASCII — enough to eyeball a topology or a result in a terminal or a test
+log without any plotting dependency. All functions return strings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from .drain.path import DrainPath
+from .topology.graph import Topology
+from .topology.mesh import node_at
+
+__all__ = [
+    "render_mesh",
+    "render_drain_path",
+    "render_histogram",
+    "render_heat",
+]
+
+
+def render_mesh(topology: Topology, mark: Optional[Dict[int, str]] = None) -> str:
+    """ASCII drawing of a mesh topology; missing links appear as gaps.
+
+    *mark* optionally overrides the single-character label of a router
+    (e.g. ``{5: "D"}`` to flag a deadlocked node). Requires mesh
+    coordinates (built by :func:`repro.topology.mesh.make_mesh`).
+    """
+    if topology.coordinates is None:
+        raise ValueError("render_mesh needs mesh coordinates")
+    marks = mark or {}
+    width = max(x for x, _y in topology.coordinates.values()) + 1
+    height = max(y for _x, y in topology.coordinates.values()) + 1
+    lines: List[str] = []
+    for y in range(height - 1, -1, -1):
+        row = []
+        for x in range(width):
+            node = node_at(x, y, width)
+            label = marks.get(node, "o")
+            row.append(label.ljust(1))
+            if x + 1 < width:
+                east = node_at(x + 1, y, width)
+                row.append("--" if topology.has_edge(node, east) else "  ")
+        lines.append("".join(row))
+        if y > 0:
+            verticals = []
+            for x in range(width):
+                node = node_at(x, y, width)
+                south = node_at(x, y - 1, width)
+                verticals.append("|" if topology.has_edge(node, south) else " ")
+                if x + 1 < width:
+                    verticals.append("  ")
+            lines.append("".join(verticals))
+    return "\n".join(lines)
+
+
+def render_drain_path(path: DrainPath, per_line: int = 8) -> str:
+    """The drain path as wrapped ``a->b`` hops, numbered per line."""
+    if per_line < 1:
+        raise ValueError("per_line must be positive")
+    chunks: List[str] = []
+    links = path.links
+    for start in range(0, len(links), per_line):
+        chunk = links[start:start + per_line]
+        hops = " ".join(f"{l.src}->{l.dst}" for l in chunk)
+        chunks.append(f"[{start:4d}] {hops}")
+    return "\n".join(chunks)
+
+
+def render_histogram(
+    samples: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Text histogram of *samples* with proportional bars."""
+    if not samples:
+        return f"{title}\n(no samples)"
+    if bins < 1 or width < 1:
+        raise ValueError("bins and width must be positive")
+    lo = min(samples)
+    hi = max(samples)
+    if math.isclose(lo, hi):
+        return f"{title}\n[{lo:.2f}] {'#' * width} ({len(samples)})"
+    span = (hi - lo) / bins
+    counts = [0] * bins
+    for value in samples:
+        idx = min(bins - 1, int((value - lo) / span))
+        counts[idx] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        left = lo + i * span
+        right = left + span
+        bar = "#" * max(1 if count else 0, round(width * count / peak))
+        lines.append(f"[{left:8.2f}, {right:8.2f}) {bar} {count}")
+    return "\n".join(lines)
+
+
+def render_heat(
+    values: Dict[int, float],
+    topology: Topology,
+    levels: str = " .:-=+*#%@",
+) -> str:
+    """Mesh heat map: per-router scalar mapped onto a character ramp."""
+    if topology.coordinates is None:
+        raise ValueError("render_heat needs mesh coordinates")
+    if not values:
+        raise ValueError("no values to render")
+    lo = min(values.values())
+    hi = max(values.values())
+    span = hi - lo
+    marks: Dict[int, str] = {}
+    for node in topology.nodes:
+        value = values.get(node, lo)
+        if span <= 0:
+            level = 0
+        else:
+            level = min(len(levels) - 1,
+                        int((value - lo) / span * (len(levels) - 1)))
+        marks[node] = levels[level]
+    return render_mesh(topology, mark=marks)

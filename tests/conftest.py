@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import DrainConfig, NetworkConfig, Scheme, SimConfig
+from repro.experiments.common import Scale
+from repro.topology.irregular import inject_link_faults
+from repro.topology.mesh import make_mesh
+
+
+@pytest.fixture
+def mesh4() :
+    return make_mesh(4, 4)
+
+
+@pytest.fixture
+def mesh8():
+    return make_mesh(8, 8)
+
+
+@pytest.fixture
+def faulty8():
+    """8x8 mesh with 8 random link faults (fixed seed)."""
+    return inject_link_faults(make_mesh(8, 8), 8, random.Random(7))
+
+
+@pytest.fixture
+def faulty4():
+    """4x4 mesh with 4 random link faults (fixed seed)."""
+    return inject_link_faults(make_mesh(4, 4), 4, random.Random(3))
+
+
+@pytest.fixture
+def tiny_scale():
+    """A very small Scale for experiment smoke tests."""
+    return Scale(
+        warmup=200,
+        measure=600,
+        fault_patterns=1,
+        sweep_rates=(0.04, 0.10),
+        low_load_rate=0.02,
+        epoch=512,
+        spin_timeout=96,
+        app_transactions_per_node=10,
+        app_max_cycles=20_000,
+        seeds=1,
+    )
+
+
+def make_config(
+    scheme: Scheme,
+    num_vns: int = 1,
+    vcs_per_vn: int = 2,
+    epoch: int = 512,
+    **kwargs,
+) -> SimConfig:
+    """Compact SimConfig builder used across test modules."""
+    return SimConfig(
+        scheme=scheme,
+        network=NetworkConfig(num_vns=num_vns, vcs_per_vn=vcs_per_vn),
+        drain=DrainConfig(epoch=epoch, **kwargs.pop("drain_kwargs", {})),
+        **kwargs,
+    )

@@ -1,0 +1,110 @@
+"""Tests for the Bubble Flow Control baseline on tori."""
+
+import random
+
+import pytest
+
+from repro.core.config import NetworkConfig, Scheme, SimConfig
+from repro.network.bubbleflow import BubbleFlowFabric, TorusDorRouting
+from repro.network.deadlock import find_deadlocked_slots
+from repro.network.index import FabricIndex
+from repro.router.packet import MessageClass, Packet
+from repro.topology.mesh import make_torus
+from repro.traffic.synthetic import SyntheticTraffic, UniformRandom
+
+
+def bfc_fabric(width=4, height=4, vcs=1, seed=1):
+    topo = make_torus(width, height)
+    index = FabricIndex(topo)
+    config = SimConfig(
+        scheme=Scheme.NONE,
+        network=NetworkConfig(num_vns=1, vcs_per_vn=vcs),
+    )
+    routing = TorusDorRouting(index, width, height)
+    fabric = BubbleFlowFabric(index, config, routing, width, height,
+                              rng=random.Random(seed))
+    return topo, fabric
+
+
+def drive(fabric, traffic, cycles):
+    for cycle in range(cycles):
+        traffic.generate(fabric, fabric.cycle)
+        fabric.step()
+        traffic.consume(fabric, fabric.cycle)
+
+
+class TestTorusDorRouting:
+    def test_single_candidate(self):
+        topo = make_torus(4, 4)
+        index = FabricIndex(topo)
+        routing = TorusDorRouting(index, 4, 4)
+        packet = Packet(0, 0, 10)
+        assert len(routing.candidates(0, packet)) == 1
+
+    def test_shortest_wrap_chosen(self):
+        topo = make_torus(4, 4)
+        index = FabricIndex(topo)
+        routing = TorusDorRouting(index, 4, 4)
+        # 0 -> 3 in a 4-ring: the wrap (0 -> 3 directly) is 1 hop.
+        link = routing.next_link(0, 3)
+        assert index.link_dst[link] == 3
+
+    def test_x_dimension_first(self):
+        topo = make_torus(4, 4)
+        index = FabricIndex(topo)
+        routing = TorusDorRouting(index, 4, 4)
+        # 0 -> 5: X offset and Y offset; first hop changes X.
+        link = routing.next_link(0, 5)
+        assert index.link_dst[link] in (1, 3)
+
+    def test_dimension_mismatch_rejected(self):
+        topo = make_torus(4, 4)
+        with pytest.raises(ValueError):
+            TorusDorRouting(FabricIndex(topo), 8, 3)
+
+
+class TestRingClassification:
+    def test_every_torus_link_is_on_a_ring(self):
+        _topo, fabric = bfc_fabric()
+        assert all(ring is not None for ring in fabric.link_ring)
+
+    def test_ring_sizes(self):
+        _topo, fabric = bfc_fabric()
+        assert len(fabric.ring_links) == 16  # 4 rows + 4 cols, 2 directions
+        for ring, links in fabric.ring_links.items():
+            assert len(links) == 4  # unidirectional 4-ring
+
+
+class TestBubbleCondition:
+    def test_never_deadlocks_on_torus(self):
+        """BFC's whole point: 1-VC DOR on a torus wraps into cycles, but
+        the bubble keeps every ring rotating."""
+        _topo, fabric = bfc_fabric(vcs=1)
+        traffic = SyntheticTraffic(UniformRandom(16), 0.35, random.Random(3))
+        drive(fabric, traffic, 4000)
+        assert not find_deadlocked_slots(fabric)
+        assert fabric.stats.packets_ejected > 1000
+
+    def test_bubble_stalls_accumulate_under_load(self):
+        _topo, fabric = bfc_fabric(vcs=1)
+        traffic = SyntheticTraffic(UniformRandom(16), 0.35, random.Random(3))
+        drive(fabric, traffic, 1500)
+        assert fabric.bubble_stalls > 0  # the proactive restriction at work
+
+    def test_low_load_rarely_stalled(self):
+        _topo, fabric = bfc_fabric(vcs=2)
+        traffic = SyntheticTraffic(UniformRandom(16), 0.02, random.Random(4))
+        drive(fabric, traffic, 1500)
+        assert fabric.stats.packets_ejected > 300
+        assert fabric.bubble_stalls < fabric.stats.packets_ejected
+
+    def test_ring_never_completely_fills(self):
+        """Invariant: at least one free slot per ring VC column, always."""
+        _topo, fabric = bfc_fabric(vcs=1)
+        traffic = SyntheticTraffic(UniformRandom(16), 0.4, random.Random(5))
+        for _ in range(1200):
+            traffic.generate(fabric, fabric.cycle)
+            fabric.step()
+            traffic.consume(fabric, fabric.cycle)
+            for ring in fabric.ring_links:
+                assert fabric._ring_free_slots(ring, 0) >= 1

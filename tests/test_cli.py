@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, parse_topology
+
+
+class TestParseTopology:
+    def test_mesh(self):
+        topo = parse_topology("mesh:4x4")
+        assert topo.num_nodes == 16
+
+    def test_torus(self):
+        assert parse_topology("torus:4x4").num_edges == 32
+
+    def test_ring(self):
+        assert parse_topology("ring:8").num_nodes == 8
+
+    def test_smallworld(self):
+        topo = parse_topology("smallworld:16+4", seed=3)
+        assert topo.num_nodes == 16
+        assert topo.num_edges == 20
+
+    def test_randomregular(self):
+        topo = parse_topology("randomregular:12d3", seed=3)
+        assert all(topo.degree(n) == 3 for n in topo.nodes)
+
+    def test_chiplet(self):
+        topo = parse_topology("chiplet:4x2x2")
+        assert topo.is_connected()
+
+    def test_faults_applied(self):
+        topo = parse_topology("mesh:4x4", faults=3, seed=1)
+        assert topo.num_edges == 21
+        assert topo.is_connected()
+
+    def test_bad_specs_rejected(self):
+        for spec in ("mesh:4", "cube:3x3", "smallworld:16", "randomregular:12"):
+            with pytest.raises(ValueError):
+                parse_topology(spec)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_analytical_experiment_runs(self, capsys):
+        assert main(["experiment", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "drain" in out and "escape_vc" in out
+
+    def test_table_experiment_runs(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "subactive" in capsys.readouterr().out
+
+    def test_run_command(self, capsys):
+        code = main([
+            "run", "--topology", "mesh:4x4", "--scheme", "drain",
+            "--cycles", "800", "--warmup", "200", "--rate", "0.04",
+            "--epoch", "256",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg latency" in out
+        assert "drain windows" in out
+
+    def test_run_wormhole(self, capsys):
+        code = main([
+            "run", "--topology", "mesh:4x4", "--flow-control", "wormhole",
+            "--cycles", "800", "--warmup", "200", "--rate", "0.03",
+        ])
+        assert code == 0
+
+    def test_drainpath_command(self, capsys):
+        assert main(["drainpath", "--topology", "ring:6", "--show-path"]) == 0
+        out = capsys.readouterr().out
+        assert "drain path: 12 links" in out
+        assert "->" in out
+
+    def test_drainpath_hawick_james(self, capsys):
+        assert main([
+            "drainpath", "--topology", "ring:4", "--method", "hawick-james",
+        ]) == 0
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

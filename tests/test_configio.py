@@ -1,0 +1,67 @@
+"""Tests for SimConfig JSON (de)serialisation."""
+
+import pytest
+
+from repro.core.config import (
+    DrainConfig,
+    NetworkConfig,
+    Scheme,
+    SimConfig,
+)
+from repro.core.configio import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+
+
+def sample_config():
+    return SimConfig(
+        scheme=Scheme.SPIN,
+        network=NetworkConfig(num_vns=1, vcs_per_vn=4),
+        drain=DrainConfig(epoch=123, escape_sticky=True),
+        seed=77,
+    )
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        config = sample_config()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_file_roundtrip(self, tmp_path):
+        config = sample_config()
+        path = tmp_path / "config.json"
+        save_config(config, path)
+        assert load_config(path) == config
+
+    def test_default_roundtrip(self):
+        assert config_from_dict(config_to_dict(SimConfig())) == SimConfig()
+
+
+class TestValidation:
+    def test_unknown_section_key_rejected(self):
+        data = config_to_dict(SimConfig())
+        data["drain"]["magic"] = 3
+        with pytest.raises(ValueError):
+            config_from_dict(data)
+
+    def test_unknown_top_level_key_rejected(self):
+        data = config_to_dict(SimConfig())
+        data["extra"] = {}
+        with pytest.raises(ValueError):
+            config_from_dict(data)
+
+    def test_partial_sections_use_defaults(self):
+        config = config_from_dict({"scheme": "drain"})
+        assert config.scheme is Scheme.DRAIN
+        assert config.network == NetworkConfig()
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ValueError):
+            config_from_dict({"scheme": "drain", "drain": {"epoch": 0}})
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_dict({"scheme": "quantum"})

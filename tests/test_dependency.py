@@ -1,0 +1,68 @@
+"""Unit tests for the channel-dependency (turn) graph."""
+
+from repro.topology.dependency import build_dependency_graph
+from repro.topology.graph import Link, Topology
+from repro.topology.mesh import make_mesh, make_ring
+
+
+class TestDependencyGraph:
+    def test_nodes_are_unidirectional_links(self):
+        topo = make_mesh(2, 2)
+        graph = build_dependency_graph(topo)
+        assert graph.num_links == 8  # 4 bidirectional links
+
+    def test_turns_connect_head_to_tail(self):
+        topo = make_mesh(3, 3)
+        graph = build_dependency_graph(topo)
+        for link in graph.links:
+            for nxt in graph.successors(link):
+                assert nxt.src == link.dst
+
+    def test_u_turn_present_by_default(self):
+        topo = make_ring(4)
+        graph = build_dependency_graph(topo)
+        link = Link(0, 1)
+        assert graph.has_turn(link, link.reverse)
+
+    def test_u_turn_absent_when_disabled(self):
+        topo = make_ring(4)
+        graph = build_dependency_graph(topo, allow_u_turns=False)
+        link = Link(0, 1)
+        assert not graph.has_turn(link, link.reverse)
+        # Other turns survive.
+        assert graph.has_turn(link, Link(1, 2))
+
+    def test_turn_counts_with_u_turns(self):
+        # Each link l has one successor per outgoing link of l.dst.
+        topo = make_ring(5)
+        graph = build_dependency_graph(topo)
+        # Every node has degree 2, so every link has 2 successors.
+        assert graph.num_turns == graph.num_links * 2
+
+    def test_successor_lists_are_copies(self):
+        graph = build_dependency_graph(make_ring(4))
+        link = graph.links[0]
+        succ = graph.successors(link)
+        succ.clear()
+        assert graph.successors(link)
+
+    def test_index_of_is_bijective(self):
+        graph = build_dependency_graph(make_mesh(3, 3))
+        index = graph.index_of()
+        assert len(index) == graph.num_links
+        assert sorted(index.values()) == list(range(graph.num_links))
+
+    def test_adjacency_indices_match_successors(self):
+        graph = build_dependency_graph(make_mesh(2, 3))
+        index = graph.index_of()
+        adjacency = graph.adjacency_indices()
+        for link in graph.links:
+            expected = sorted(index[m] for m in graph.successors(link))
+            assert adjacency[index[link]] == expected
+
+    def test_chain_topology_endpoints_only_u_turn(self):
+        topo = Topology(3, [(0, 1), (1, 2)])
+        graph = build_dependency_graph(topo)
+        # At node 0 the only outgoing link is 0->1, so 1->0's successors are
+        # exactly the U-turn.
+        assert graph.successors(Link(1, 0)) == [Link(0, 1)]

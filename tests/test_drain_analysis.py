@@ -1,0 +1,85 @@
+"""Tests for drain-path analysis and overhead accounting."""
+
+import pytest
+
+from repro.core.config import DrainConfig
+from repro.drain.analysis import (
+    drain_overhead_fraction,
+    misroute_expectation,
+    path_report,
+    router_visit_counts,
+)
+from repro.drain.path import euler_drain_path
+from repro.topology.mesh import make_mesh, make_ring
+
+
+class TestMisrouteExpectation:
+    def test_in_unit_interval(self):
+        path = euler_drain_path(make_mesh(4, 4))
+        assert 0.0 <= misroute_expectation(path) <= 1.0
+
+    def test_nonzero_on_mesh(self):
+        """A covering cycle on a mesh necessarily drags some packets away
+        from some destinations."""
+        path = euler_drain_path(make_mesh(4, 4))
+        assert misroute_expectation(path) > 0.0
+
+    def test_ring_expectation_below_half(self):
+        """On a ring, following the cycle direction is productive for at
+        least half the destinations."""
+        path = euler_drain_path(make_ring(8))
+        assert misroute_expectation(path) < 0.5
+
+
+class TestRouterVisitCounts:
+    def test_visits_match_degree(self):
+        topo = make_mesh(3, 3)
+        path = euler_drain_path(topo)
+        visits = router_visit_counts(path)
+        for node in topo.nodes:
+            assert visits[node] == topo.degree(node)
+
+    def test_total_visits_equals_path_length(self):
+        path = euler_drain_path(make_mesh(4, 4))
+        assert sum(router_visit_counts(path).values()) == len(path)
+
+
+class TestOverheadFraction:
+    def test_decreases_with_epoch(self):
+        short = drain_overhead_fraction(DrainConfig(epoch=64), 200)
+        long = drain_overhead_fraction(DrainConfig(epoch=65536), 200)
+        assert short > long
+        assert 0.0 < long < short < 1.0
+
+    def test_full_drain_amortisation(self):
+        frequent = drain_overhead_fraction(
+            DrainConfig(epoch=1024, full_drain_period=2), 400
+        )
+        rare = drain_overhead_fraction(
+            DrainConfig(epoch=1024, full_drain_period=1000), 400
+        )
+        assert frequent > rare
+
+    def test_bad_path_length_rejected(self):
+        with pytest.raises(ValueError):
+            drain_overhead_fraction(DrainConfig(), 0)
+
+    def test_paper_default_is_negligible(self):
+        """64K epochs + 5-cycle windows: overhead far below 0.1%."""
+        fraction = drain_overhead_fraction(DrainConfig(), 224)
+        assert fraction < 0.001
+
+
+class TestPathReport:
+    def test_report_keys(self):
+        path = euler_drain_path(make_mesh(3, 3))
+        report = path_report(path, DrainConfig(epoch=1024))
+        assert set(report) == {
+            "path_length",
+            "misroute_expectation",
+            "max_router_visits",
+            "min_router_visits",
+            "overhead_fraction",
+        }
+        assert report["path_length"] == len(path)
+        assert report["min_router_visits"] >= 1.0

@@ -1,0 +1,164 @@
+"""Unit + property tests for drain-path construction (the offline algorithm)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drain.path import (
+    DrainPath,
+    euler_drain_path,
+    find_drain_path,
+    hawick_james_drain_path,
+)
+from repro.topology.graph import Link, Topology
+from repro.topology.irregular import inject_link_faults, random_connected_topology
+from repro.topology.mesh import make_mesh, make_ring, make_torus
+
+
+def assert_valid_drain_path(path: DrainPath, topology: Topology) -> None:
+    """All Section III-B invariants, asserted explicitly."""
+    expected = set(topology.unidirectional_links())
+    assert set(path.links) == expected
+    assert len(path.links) == len(expected)  # each link exactly once
+    n = len(path.links)
+    for i, link in enumerate(path.links):
+        assert link.dst == path.links[(i + 1) % n].src
+
+
+class TestEulerDrainPath:
+    @pytest.mark.parametrize(
+        "topology",
+        [
+            make_mesh(2, 2),
+            make_mesh(4, 4),
+            make_mesh(8, 8),
+            make_mesh(3, 5),
+            make_torus(4, 4),
+            make_ring(7),
+            Topology(3, [(0, 1), (1, 2)]),  # chain forces U-turns
+        ],
+        ids=lambda t: t.name,
+    )
+    def test_covers_every_topology(self, topology):
+        path = euler_drain_path(topology)
+        assert_valid_drain_path(path, topology)
+
+    def test_faulty_mesh(self):
+        topo = inject_link_faults(make_mesh(8, 8), 12, random.Random(5))
+        assert_valid_drain_path(euler_drain_path(topo), topo)
+
+    def test_path_length_equals_link_count(self):
+        topo = make_mesh(4, 4)
+        path = euler_drain_path(topo)
+        assert len(path) == 2 * topo.num_edges == 48
+
+    def test_visits_all_routers(self):
+        topo = make_mesh(4, 4)
+        path = euler_drain_path(topo)
+        assert set(path.routers_visited()) == set(topo.nodes)
+
+    def test_next_link_connects(self):
+        topo = make_mesh(3, 3)
+        path = euler_drain_path(topo)
+        for link in path.links:
+            assert path.next_link(link).src == link.dst
+
+    def test_position_is_cycle_index(self):
+        path = euler_drain_path(make_ring(4))
+        for i, link in enumerate(path.links):
+            assert path.position(link) == i
+
+    def test_contains(self):
+        topo = make_mesh(2, 2)
+        path = euler_drain_path(topo)
+        for link in topo.unidirectional_links():
+            assert link in path
+
+    def test_disconnected_rejected(self):
+        topo = Topology(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            euler_drain_path(topo)
+
+    def test_rng_variants_are_valid_and_differ(self):
+        topo = make_mesh(4, 4)
+        paths = [
+            euler_drain_path(topo, rng=random.Random(seed)) for seed in range(4)
+        ]
+        for path in paths:
+            assert_valid_drain_path(path, topo)
+        assert len({tuple(p.links) for p in paths}) > 1
+
+    @given(
+        st.integers(min_value=2, max_value=14),
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_random_topologies(self, nodes, extra, seed):
+        topo = random_connected_topology(nodes, extra, random.Random(seed))
+        assert_valid_drain_path(euler_drain_path(topo), topo)
+
+
+class TestHawickJamesDrainPath:
+    @pytest.mark.parametrize(
+        "topology",
+        [Topology(2, [(0, 1)]), Topology(3, [(0, 1), (1, 2)]), make_ring(3)],
+        ids=["pair", "chain3", "ring3"],
+    )
+    def test_small_topologies(self, topology):
+        path = hawick_james_drain_path(topology)
+        assert_valid_drain_path(path, topology)
+
+    def test_agrees_with_euler_on_coverage(self):
+        topo = make_ring(4)
+        hj = hawick_james_drain_path(topo)
+        eu = euler_drain_path(topo)
+        assert set(hj.links) == set(eu.links)
+
+    def test_max_circuits_exhaustion_raises(self):
+        topo = make_ring(4)
+        with pytest.raises(ValueError):
+            hawick_james_drain_path(topo, max_circuits=1)
+
+
+class TestFindDrainPath:
+    def test_default_is_euler(self):
+        topo = make_mesh(3, 3)
+        assert_valid_drain_path(find_drain_path(topo), topo)
+
+    def test_hawick_james_selectable(self):
+        topo = make_ring(3)
+        assert_valid_drain_path(find_drain_path(topo, method="hawick-james"), topo)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            find_drain_path(make_ring(3), method="magic")
+
+
+class TestDrainPathValidation:
+    def test_missing_link_rejected(self):
+        topo = make_ring(3)
+        path = euler_drain_path(topo)
+        with pytest.raises(ValueError):
+            DrainPath(topo, path.links[:-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DrainPath(make_ring(3), [])
+
+    def test_disconnected_sequence_rejected(self):
+        topo = make_ring(3)
+        good = euler_drain_path(topo).links
+        # Swap two entries to break consecutive connectivity.
+        bad = list(good)
+        bad[0], bad[2] = bad[2], bad[0]
+        with pytest.raises(ValueError):
+            DrainPath(topo, bad)
+
+    def test_foreign_link_rejected(self):
+        topo = make_ring(3)
+        links = euler_drain_path(topo).links[:-1] + [Link(0, 2)]
+        with pytest.raises(ValueError):
+            DrainPath(make_ring(4), links)

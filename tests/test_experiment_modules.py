@@ -1,0 +1,114 @@
+"""Unit tests for experiment modules not covered by test_experiments.py
+(application engine, Section VI, lifetime), on a tiny scale."""
+
+import pytest
+
+from repro.experiments import heterogeneous, lifetime
+from repro.experiments.applications import (
+    APP_CONFIGS,
+    AppConfig,
+    application_study,
+    run_application,
+)
+from repro.experiments.common import Scale
+from repro.topology.mesh import make_mesh
+from repro.traffic.workloads import PARSEC, workload_by_name
+
+
+@pytest.fixture
+def micro_scale():
+    return Scale(
+        warmup=100,
+        measure=400,
+        fault_patterns=1,
+        sweep_rates=(0.05,),
+        low_load_rate=0.02,
+        epoch=256,
+        spin_timeout=64,
+        app_transactions_per_node=5,
+        app_max_cycles=15_000,
+    )
+
+
+class TestAppConfigs:
+    def test_five_paper_configurations(self):
+        labels = [c.label for c in APP_CONFIGS]
+        assert labels == [
+            "escape_vc", "spin", "drain_vn3_vc2", "drain_vn1_vc6",
+            "drain_vn1_vc2",
+        ]
+
+    def test_drain_default_is_single_vn(self):
+        default = next(c for c in APP_CONFIGS if c.label == "drain_vn1_vc2")
+        assert default.num_vns == 1 and default.vcs_per_vn == 2
+
+    def test_vc6_matches_baseline_total(self):
+        baseline = next(c for c in APP_CONFIGS if c.label == "escape_vc")
+        vc6 = next(c for c in APP_CONFIGS if c.label == "drain_vn1_vc6")
+        assert baseline.num_vns * baseline.vcs_per_vn == vc6.vcs_per_vn
+
+
+class TestRunApplication:
+    def test_completes_and_reports(self, micro_scale, mesh4):
+        row = run_application(
+            workload_by_name("blackscholes"), mesh4, APP_CONFIGS[0],
+            micro_scale, mesh_width=4,
+        )
+        assert row["finished"]
+        assert row["completed"] == 5 * 16
+        assert row["latency"] > 0
+        assert row["runtime"] > 0
+
+    def test_study_normalises_against_escape(self, micro_scale):
+        rows = application_study(
+            [PARSEC[0]], faults=(0,), scale=micro_scale, mesh_width=4,
+            configs=APP_CONFIGS[:3],
+        )
+        baseline = next(r for r in rows if r["config"] == "escape_vc")
+        assert baseline["norm_latency"] == pytest.approx(1.0)
+        assert baseline["norm_runtime"] == pytest.approx(1.0)
+        assert all("norm_latency" in r for r in rows)
+
+    def test_study_rows_per_config_and_fault(self, micro_scale):
+        rows = application_study(
+            [PARSEC[0]], faults=(0, 2), scale=micro_scale, mesh_width=4,
+            configs=APP_CONFIGS[:2],
+        )
+        assert len(rows) == 2 * 2
+
+
+class TestHeterogeneous:
+    def test_rows_and_columns(self, micro_scale):
+        rows = heterogeneous.heterogeneous_study(scale=micro_scale)
+        assert len(rows) == 4
+        for row in rows:
+            assert {"topology", "drain_latency", "updown_latency",
+                    "drain_hops", "updown_hops"} <= set(row)
+            assert row["drain_latency"] > 0
+
+    def test_covers_chiplet_and_random(self, micro_scale):
+        names = [r["topology"] for r in
+                 heterogeneous.heterogeneous_study(scale=micro_scale)]
+        assert any(n.startswith("chiplet") for n in names)
+        assert any(n.startswith("smallworld") for n in names)
+
+
+class TestLifetime:
+    def test_path_tracks_surviving_links(self, micro_scale):
+        rows = lifetime.lifetime_study(
+            total_failures=4, measure_every=2, mesh_width=4,
+            scale=micro_scale,
+        )
+        assert rows[0]["failures"] == 0
+        for row in rows:
+            assert row["drain_path_length"] == 2 * row["links_left"]
+            assert row["drain_delivered"] > 0
+
+    def test_links_strictly_decrease(self, micro_scale):
+        rows = lifetime.lifetime_study(
+            total_failures=4, measure_every=2, mesh_width=4,
+            scale=micro_scale,
+        )
+        links = [r["links_left"] for r in rows]
+        assert links == sorted(links, reverse=True)
+        assert links[0] > links[-1]

@@ -1,0 +1,72 @@
+"""Unit tests for the Hawick-James elementary-circuit enumerator."""
+
+from repro.drain.hawick_james import count_circuits, elementary_circuits, find_circuit
+
+
+def canonical(circuits):
+    """Rotate each circuit so it starts at its minimum and sort the set."""
+    result = set()
+    for circ in circuits:
+        i = circ.index(min(circ))
+        result.add(tuple(circ[i:] + circ[:i]))
+    return result
+
+
+class TestElementaryCircuits:
+    def test_empty_graph(self):
+        assert list(elementary_circuits([[], []])) == []
+
+    def test_self_loop(self):
+        assert canonical(elementary_circuits([[0]])) == {(0,)}
+
+    def test_two_cycle(self):
+        assert canonical(elementary_circuits([[1], [0]])) == {(0, 1)}
+
+    def test_triangle_both_directions(self):
+        # Complete digraph on 3 vertices: 2 three-cycles + 3 two-cycles.
+        adj = [[1, 2], [0, 2], [0, 1]]
+        circuits = canonical(elementary_circuits(adj))
+        assert (0, 1, 2) in circuits and (0, 2, 1) in circuits
+        assert (0, 1) in circuits and (0, 2) in circuits and (1, 2) in circuits
+        assert len(circuits) == 5
+
+    def test_directed_square(self):
+        adj = [[1], [2], [3], [0]]
+        assert canonical(elementary_circuits(adj)) == {(0, 1, 2, 3)}
+
+    def test_dag_has_no_circuits(self):
+        adj = [[1, 2], [3], [3], []]
+        assert list(elementary_circuits(adj)) == []
+
+    def test_two_disjoint_cycles(self):
+        adj = [[1], [0], [3], [2]]
+        assert canonical(elementary_circuits(adj)) == {(0, 1), (2, 3)}
+
+    def test_circuits_are_elementary(self):
+        adj = [[1, 2], [0, 2], [0, 1]]
+        for circ in elementary_circuits(adj):
+            assert len(circ) == len(set(circ))
+
+    def test_max_circuits_caps_enumeration(self):
+        adj = [[1, 2], [0, 2], [0, 1]]
+        assert len(list(elementary_circuits(adj, max_circuits=2))) == 2
+
+    def test_known_count_complete_digraph_k4(self):
+        # K4 digraph: C(4,2) 2-cycles + 8 three-cycles + 6 four-cycles = 20.
+        adj = [[j for j in range(4) if j != i] for i in range(4)]
+        assert count_circuits(adj) == 20
+
+
+class TestFindCircuit:
+    def test_finds_matching_circuit(self):
+        adj = [[1, 2], [0, 2], [0, 1]]
+        found = find_circuit(adj, predicate=lambda c: len(c) == 3)
+        assert found is not None and len(found) == 3
+
+    def test_returns_none_when_no_match(self):
+        adj = [[1], [0]]
+        assert find_circuit(adj, predicate=lambda c: len(c) == 5) is None
+
+    def test_early_termination_returns_first_match(self):
+        adj = [[1], [0]]
+        assert find_circuit(adj, predicate=lambda c: True) == [0, 1]

@@ -1,0 +1,132 @@
+"""Unit + property tests for statistics collection."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import NetworkStats, RunningStats, SampleStats, percentile
+
+
+class TestPercentile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_median_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 3.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 5.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_property_bounded_by_min_max(self, data):
+        p = percentile(data, 99)
+        assert min(data) <= p <= max(data)
+
+
+class TestRunningStats:
+    def test_mean_and_variance(self):
+        stats = RunningStats()
+        for v in (2.0, 4.0, 6.0):
+            stats.add(v)
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.variance == pytest.approx(8.0 / 3.0)
+        assert stats.min == 2.0 and stats.max == 6.0
+
+    def test_empty_stats_are_zero(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert stats.count == 0
+
+    def test_merge_matches_single_stream(self):
+        a, b, c = RunningStats(), RunningStats(), RunningStats()
+        data1 = [1.0, 5.0, 2.0]
+        data2 = [9.0, 3.0]
+        for v in data1:
+            a.add(v)
+            c.add(v)
+        for v in data2:
+            b.add(v)
+            c.add(v)
+        a.merge(b)
+        assert a.count == c.count
+        assert a.mean == pytest.approx(c.mean)
+        assert a.variance == pytest.approx(c.variance)
+        assert a.min == c.min and a.max == c.max
+
+    def test_merge_with_empty_is_identity(self):
+        a = RunningStats()
+        a.add(3.0)
+        a.merge(RunningStats())
+        assert a.count == 1 and a.mean == 3.0
+
+    def test_merge_into_empty_copies(self):
+        a = RunningStats()
+        b = RunningStats()
+        b.add(4.0)
+        b.add(8.0)
+        a.merge(b)
+        assert a.count == 2 and a.mean == 6.0
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_property_matches_naive_mean(self, data):
+        stats = RunningStats()
+        for v in data:
+            stats.add(v)
+        assert stats.mean == pytest.approx(sum(data) / len(data), abs=1e-6)
+        assert stats.stddev == pytest.approx(math.sqrt(stats.variance))
+
+
+class TestSampleStats:
+    def test_keeps_samples(self):
+        stats = SampleStats()
+        for v in (3.0, 1.0, 2.0):
+            stats.add(v)
+        assert stats.samples == [3.0, 1.0, 2.0]
+        assert stats.percentile(100) == 3.0
+
+    def test_inherits_running_summary(self):
+        stats = SampleStats()
+        stats.add(10.0)
+        stats.add(20.0)
+        assert stats.mean == 15.0
+
+
+class TestNetworkStats:
+    def test_throughput_units(self):
+        stats = NetworkStats()
+        stats.packets_ejected_measured = 640
+        stats.measured_cycles = 1000
+        assert stats.throughput(64) == pytest.approx(0.01)
+
+    def test_throughput_zero_guard(self):
+        stats = NetworkStats()
+        assert stats.throughput(64) == 0.0
+        stats.measured_cycles = 10
+        assert stats.throughput(0) == 0.0
+
+    def test_p99_requires_samples(self):
+        stats = NetworkStats()
+        with pytest.raises(ValueError):
+            _ = stats.p99_latency
+
+    def test_as_dict_contains_headlines(self):
+        stats = NetworkStats()
+        stats.latency.add(5.0)
+        flat = stats.as_dict()
+        assert flat["avg_latency"] == 5.0
+        assert "drain_windows" in flat and "probes_sent" in flat

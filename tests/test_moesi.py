@@ -1,0 +1,100 @@
+"""Tests for the MOESI six-class protocol model."""
+
+import random
+
+import pytest
+
+from repro.core.config import NetworkConfig, ProtocolConfig, Scheme, SimConfig
+from repro.core.simulator import Simulation
+from repro.protocol.moesi import MoesiTraffic
+from repro.router.packet import MessageClass
+from tests.conftest import make_config
+
+
+def run_moesi(scheme, vns, vcs, topo, issue=0.10, txns=200, cycles=40_000,
+              wb=0.3, epoch=256, halt=False, seed=5):
+    config = SimConfig(
+        scheme=scheme,
+        network=NetworkConfig(num_vns=vns, vcs_per_vn=vcs,
+                              ejection_queue_depth=2),
+        drain=make_config(Scheme.DRAIN, epoch=epoch).drain,
+        seed=seed,
+    )
+    traffic = MoesiTraffic(
+        topo.num_nodes,
+        ProtocolConfig(mshrs_per_node=8, forward_probability=0.5),
+        issue,
+        random.Random(seed),
+        total_transactions=txns,
+        writeback_fraction=wb,
+    )
+    sim = Simulation(topo, config, traffic, halt_on_deadlock=halt)
+    sim.run(cycles)
+    return sim, traffic
+
+
+class TestMoesiMechanics:
+    def test_transactions_complete_with_six_vns(self, mesh4):
+        sim, traffic = run_moesi(Scheme.ESCAPE_VC, 6, 2, mesh4)
+        assert traffic.done()
+        assert traffic.completed == 200
+
+    def test_all_six_classes_travel(self, mesh4):
+        sim, traffic = run_moesi(Scheme.ESCAPE_VC, 6, 2, mesh4, wb=0.4)
+        hops = sim.stats.vn_hops
+        for vn in range(6):
+            assert hops.get(vn, 0) > 0, f"class {MessageClass(vn).name} idle"
+
+    def test_pure_reads_use_no_wb_classes(self, mesh4):
+        sim, traffic = run_moesi(Scheme.ESCAPE_VC, 6, 2, mesh4, wb=0.0)
+        assert traffic.done()
+        assert sim.stats.vn_hops.get(int(MessageClass.WB), 0) == 0
+        assert sim.stats.vn_hops.get(int(MessageClass.WB_ACK), 0) == 0
+
+    def test_pure_writebacks_two_hop_only(self, mesh4):
+        sim, traffic = run_moesi(Scheme.ESCAPE_VC, 6, 2, mesh4, wb=1.0)
+        assert traffic.done()
+        # WB + WB_ACK only: exactly two packets per transaction.
+        assert sim.stats.packets_injected == 2 * 200
+
+    def test_mshr_bound(self, mesh4):
+        config = ProtocolConfig(mshrs_per_node=4)
+        traffic = MoesiTraffic(16, config, 1.0, random.Random(1))
+        sim = Simulation(mesh4, make_config(Scheme.ESCAPE_VC, num_vns=6), traffic)
+        for _ in range(400):
+            sim.step()
+            assert all(0 <= o <= 4 for o in traffic.outstanding)
+
+    def test_read_transaction_injects_unblock(self, mesh4):
+        sim, traffic = run_moesi(Scheme.ESCAPE_VC, 6, 2, mesh4, wb=0.0,
+                                 txns=50)
+        assert traffic.done()
+        # 2-hop reads: REQ + RESP + UNBLOCK = 3 packets; 3-hop adds FWD.
+        assert sim.stats.packets_injected >= 3 * 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MoesiTraffic(2, ProtocolConfig(), 0.1, random.Random(1))
+        with pytest.raises(ValueError):
+            MoesiTraffic(16, ProtocolConfig(), 0.1, random.Random(1),
+                         writeback_fraction=1.5)
+
+
+class TestMoesiDeadlockStory:
+    """Deeper class chains, same subactive cure."""
+
+    def test_shared_vn_without_protection_wedges(self, faulty4):
+        sim, traffic = run_moesi(
+            Scheme.NONE, 1, 1, faulty4, issue=0.2, cycles=20_000, halt=True,
+        )
+        assert sim.deadlocked
+        assert not traffic.done()
+
+    def test_drain_single_vn_completes(self, faulty4):
+        sim, traffic = run_moesi(Scheme.DRAIN, 1, 2, faulty4, issue=0.2,
+                                 cycles=120_000, epoch=128)
+        assert traffic.done()
+
+    def test_six_vns_prevent_protocol_deadlock(self, faulty4):
+        sim, traffic = run_moesi(Scheme.ESCAPE_VC, 6, 2, faulty4, issue=0.2)
+        assert traffic.done()

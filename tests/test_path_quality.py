@@ -1,0 +1,68 @@
+"""Tests for the drain-path quality study and its invariance finding."""
+
+import random
+
+import pytest
+
+from repro.drain.analysis import misroute_expectation
+from repro.drain.path import euler_drain_path
+from repro.experiments.common import Scale
+from repro.experiments.path_quality import path_quality_study, sample_paths
+from repro.topology.irregular import inject_link_faults
+from repro.topology.mesh import make_mesh, make_ring
+
+
+class TestSamplePaths:
+    def test_sample_count(self):
+        paths = sample_paths(make_ring(5), 4)
+        assert len(paths) == 4
+        for path in paths:
+            path.validate()
+
+    def test_samples_differ_structurally(self):
+        paths = sample_paths(make_mesh(4, 4), 6)
+        assert len({tuple(p.links) for p in paths}) > 1
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            sample_paths(make_ring(4), 0)
+
+
+class TestMisrouteInvariance:
+    """The study's theorem: misroute expectation is path-independent.
+
+    At each router a covering circuit maps in-links onto out-links
+    bijectively, so the summed misroute indicator is the same for every
+    circuit of the same topology.
+    """
+
+    @pytest.mark.parametrize(
+        "topology",
+        [make_mesh(4, 4), make_ring(6),
+         inject_link_faults(make_mesh(4, 4), 4, random.Random(5))],
+        ids=["mesh4", "ring6", "faulty4"],
+    )
+    def test_invariant_across_sampled_circuits(self, topology):
+        values = {
+            round(misroute_expectation(p), 12)
+            for p in sample_paths(topology, 8, seed=11)
+        }
+        assert len(values) == 1
+
+    def test_invariant_differs_across_topologies(self):
+        mesh = misroute_expectation(euler_drain_path(make_mesh(4, 4)))
+        ring = misroute_expectation(euler_drain_path(make_ring(8)))
+        assert mesh != ring  # a topology property, not a universal constant
+
+
+class TestPathQualityStudy:
+    def test_study_reports_invariance_and_parity(self):
+        tiny = Scale(warmup=200, measure=600, epoch=512)
+        result = path_quality_study(samples=6, mesh_width=4, epoch=96,
+                                    scale=tiny)
+        assert result["expectation_spread"] == pytest.approx(0.0, abs=1e-12)
+        best = result["best_dynamic"]
+        worst = result["worst_dynamic"]
+        # Dynamic behaviour of "best" and "worst" paths is statistically
+        # indistinguishable — path choice is free.
+        assert best["latency"] == pytest.approx(worst["latency"], rel=0.15)

@@ -1,0 +1,152 @@
+"""Unit tests for the analytical area/power model and run accounting."""
+
+import pytest
+
+from repro.core.metrics import NetworkStats
+from repro.power.accounting import network_power_split, per_vn_power
+from repro.power.dsent import (
+    RouterParams,
+    model_router,
+    scheme_router_params,
+)
+
+
+class TestRouterModel:
+    def test_buffer_area_dominates(self):
+        """Section II-B: VC buffers are the dominant area/power component."""
+        model = model_router(RouterParams(ports=5, num_vns=3, vcs_per_vn=2))
+        assert model.buffer_area / model.total_area > 0.5
+
+    def test_area_monotone_in_vcs(self):
+        areas = [
+            model_router(RouterParams(5, 3, vcs, "basic")).total_area
+            for vcs in (1, 2, 4)
+        ]
+        assert areas[0] < areas[1] < areas[2]
+
+    def test_area_monotone_in_vns(self):
+        areas = [
+            model_router(RouterParams(5, vns, 2, "basic")).total_area
+            for vns in (1, 2, 3)
+        ]
+        assert areas[0] < areas[1] < areas[2]
+
+    def test_static_power_monotone_in_buffers(self):
+        p1 = model_router(RouterParams(5, 1, 2, "basic")).static_power
+        p3 = model_router(RouterParams(5, 3, 2, "basic")).static_power
+        assert p3 > 2.5 * p1
+
+    def test_spin_area_overhead_about_15_percent(self):
+        basic = model_router(RouterParams(5, 3, 2, "basic"))
+        spin = model_router(RouterParams(5, 3, 2, "spin"))
+        overhead = spin.total_area / basic.total_area - 1.0
+        assert overhead == pytest.approx(0.15, abs=0.01)
+
+    def test_drain_control_is_cheap(self):
+        drain = model_router(RouterParams(5, 1, 2, "drain"))
+        assert drain.control_area / drain.total_area < 0.02
+
+    def test_dynamic_energy_scales_with_events(self):
+        model = model_router(RouterParams())
+        e1 = model.dynamic_energy(100, 50, 50, 50)
+        e2 = model.dynamic_energy(200, 100, 100, 100)
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            RouterParams(ports=1)
+        with pytest.raises(ValueError):
+            RouterParams(num_vns=0)
+        with pytest.raises(ValueError):
+            RouterParams(scheme="quantum")
+
+
+class TestFigure9Shape:
+    """The headline area/power ratios of the paper's Figure 9."""
+
+    def test_drain_saves_most_area(self):
+        escape = model_router(scheme_router_params("escape_vc", vcs_per_vn=3))
+        drain = model_router(scheme_router_params("drain", vcs_per_vn=2))
+        reduction = 1.0 - drain.total_area / escape.total_area
+        assert 0.60 < reduction < 0.85  # paper: ~72%
+
+    def test_drain_saves_most_power(self):
+        escape = model_router(scheme_router_params("escape_vc", vcs_per_vn=3))
+        spin = model_router(scheme_router_params("spin", vcs_per_vn=2))
+        drain = model_router(scheme_router_params("drain", vcs_per_vn=2))
+        vs_escape = 1.0 - drain.static_power / escape.static_power
+        vs_spin = 1.0 - drain.static_power / spin.static_power
+        assert 0.65 < vs_escape < 0.85  # paper: ~77%
+        assert 0.60 < vs_spin < 0.85  # abstract: 77.6% vs reactive
+
+    def test_ordering_escape_highest_drain_lowest(self):
+        escape = model_router(scheme_router_params("escape_vc", vcs_per_vn=3))
+        spin = model_router(scheme_router_params("spin", vcs_per_vn=2))
+        drain = model_router(scheme_router_params("drain", vcs_per_vn=2))
+        assert escape.total_area > spin.total_area > drain.total_area
+        assert escape.static_power > spin.static_power > drain.static_power
+
+
+class TestAccounting:
+    def _stats(self, cycles=1000, hops=500):
+        stats = NetworkStats()
+        stats.cycles = cycles
+        stats.flits_traversed = hops
+        stats.buffer_reads = hops
+        stats.buffer_writes = hops
+        stats.xbar_traversals = hops
+        return stats
+
+    def test_network_split_positive(self):
+        split = network_power_split(self._stats(), RouterParams(), 16)
+        assert split.active_power > 0
+        assert split.wasted_power > 0
+
+    def test_zero_cycles_rejected(self):
+        stats = NetworkStats()
+        with pytest.raises(ValueError):
+            network_power_split(stats, RouterParams(), 16)
+
+    def test_per_vn_static_split_equal(self):
+        splits = per_vn_power({0: 100, 1: 50, 2: 0}, self._stats(),
+                              RouterParams(num_vns=3), 16)
+        wasted = {s.wasted_power for s in splits}
+        assert len(wasted) == 1  # equal static share per VN
+
+    def test_per_vn_active_proportional_to_traffic(self):
+        splits = per_vn_power({0: 100, 1: 50, 2: 0}, self._stats(),
+                              RouterParams(num_vns=3), 16)
+        by_vn = {s.vn: s for s in splits}
+        assert by_vn[0].active_power == pytest.approx(2 * by_vn[1].active_power)
+        assert by_vn[2].active_power == 0.0
+
+    def test_idle_vn_power_is_all_wasted(self):
+        splits = per_vn_power({0: 100, 1: 0, 2: 0}, self._stats(),
+                              RouterParams(num_vns=3), 16)
+        idle = [s for s in splits if s.vn != 0]
+        for s in idle:
+            assert s.wasted_fraction == 1.0
+
+    def test_low_activity_is_mostly_wasted(self):
+        """Figure 4's observation at realistic loads."""
+        stats = self._stats(cycles=10_000, hops=500)
+        split = network_power_split(stats, RouterParams(), 64)
+        assert split.wasted_fraction > 0.5
+
+
+class TestStaticBubbleModel:
+    def test_bubble_cheaper_than_spin_control(self):
+        spin = model_router(scheme_router_params("spin", vcs_per_vn=2))
+        bubble = model_router(
+            scheme_router_params("static_bubble", vcs_per_vn=2)
+        )
+        assert bubble.control_area < spin.control_area
+
+    def test_bubble_still_needs_virtual_networks(self):
+        """The extra buffer fixes routing deadlock only; like SPIN it pays
+        for all the virtual networks."""
+        bubble = model_router(
+            scheme_router_params("static_bubble", vcs_per_vn=2)
+        )
+        drain = model_router(scheme_router_params("drain", vcs_per_vn=2))
+        assert bubble.total_area > 2 * drain.total_area

@@ -1,0 +1,53 @@
+"""Tests for the run-report renderer."""
+
+import random
+
+from repro.core.config import Scheme
+from repro.core.report import run_report
+from repro.core.simulator import Simulation
+from repro.cli import main
+from repro.traffic.synthetic import SyntheticTraffic, UniformRandom
+from tests.conftest import make_config
+
+
+def finished_sim(mesh4, scheme=Scheme.DRAIN, rate=0.05, cycles=900):
+    traffic = SyntheticTraffic(UniformRandom(16), rate, random.Random(2))
+    sim = Simulation(mesh4, make_config(scheme, epoch=300), traffic)
+    sim.run(cycles, warmup=200)
+    return sim
+
+
+class TestRunReport:
+    def test_contains_all_sections(self, mesh4):
+        report = run_report(finished_sim(mesh4))
+        for heading in ("configuration", "traffic", "latency",
+                        "deadlock handling", "router load"):
+            assert heading in report
+
+    def test_headline_numbers_present(self, mesh4):
+        sim = finished_sim(mesh4)
+        report = run_report(sim)
+        assert f"packets delivered : {sim.stats.packets_ejected}" in report
+        assert "latency histogram" in report
+
+    def test_spin_scheme_reports_probes(self, mesh4):
+        report = run_report(finished_sim(mesh4, scheme=Scheme.SPIN))
+        assert "probes sent" in report
+        assert "pre-drain stretch" not in report  # no drain controller
+
+    def test_empty_run_handled(self, mesh4):
+        traffic = SyntheticTraffic(UniformRandom(16), 0.0, random.Random(1))
+        sim = Simulation(mesh4, make_config(Scheme.DRAIN), traffic)
+        sim.run(50)
+        assert "(no measured packets)" in run_report(sim)
+
+    def test_cli_report_flag(self, capsys):
+        code = main([
+            "run", "--topology", "mesh:4x4", "--cycles", "600",
+            "--warmup", "150", "--rate", "0.05", "--epoch", "200",
+            "--report",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run report: mesh-4x4" in out
+        assert "latency histogram" in out

@@ -1,0 +1,63 @@
+"""Tests for the extended sensitivity studies."""
+
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.sensitivity import (
+    ejection_depth_sensitivity,
+    mshr_sensitivity,
+    packet_size_sensitivity,
+    vc_sensitivity,
+)
+
+
+@pytest.fixture
+def tiny():
+    return Scale(warmup=200, measure=700, epoch=512,
+                 app_transactions_per_node=8, app_max_cycles=15_000)
+
+
+class TestVcSensitivity:
+    def test_one_vc_is_worst(self, tiny):
+        rows = vc_sensitivity(vcs_options=(1, 2, 4), scale=tiny)
+        by = {r["vcs_per_vn"]: r for r in rows}
+        assert by[1]["latency"] >= by[2]["latency"]
+
+    def test_diminishing_returns(self, tiny):
+        rows = vc_sensitivity(vcs_options=(2, 6), scale=tiny)
+        by = {r["vcs_per_vn"]: r for r in rows}
+        # Beyond 2 VCs the network is link-limited, not buffer-limited.
+        assert by[6]["latency"] == pytest.approx(by[2]["latency"], rel=0.1)
+
+
+class TestEjectionDepthSensitivity:
+    def test_all_depths_complete(self, tiny):
+        rows = ejection_depth_sensitivity(depths=(1, 4), scale=tiny)
+        assert all(r["finished"] for r in rows)
+
+    def test_deeper_queues_never_slower(self, tiny):
+        rows = ejection_depth_sensitivity(depths=(1, 8), scale=tiny)
+        by = {r["ejection_depth"]: r for r in rows}
+        assert by[8]["runtime"] <= by[1]["runtime"] * 1.05
+
+
+class TestMshrSensitivity:
+    def test_more_mshrs_finish_sooner(self, tiny):
+        rows = mshr_sensitivity(mshr_options=(2, 16), scale=tiny)
+        by = {r["mshrs"]: r for r in rows}
+        assert all(r["finished"] for r in rows)
+        assert by[16]["runtime"] < by[2]["runtime"]
+
+
+class TestPacketSizeSensitivity:
+    def test_serialisation_costs_latency(self, tiny):
+        rows = packet_size_sensitivity(sizes=(1, 4), scale=tiny)
+        by = {r["packet_flits"]: r for r in rows}
+        assert by[4]["latency"] > by[1]["latency"] * 1.5
+
+    def test_packet_throughput_unaffected_at_low_load(self, tiny):
+        rows = packet_size_sensitivity(sizes=(1, 4), scale=tiny)
+        by = {r["packet_flits"]: r for r in rows}
+        assert by[4]["throughput"] == pytest.approx(
+            by[1]["throughput"], rel=0.05
+        )

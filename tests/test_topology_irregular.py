@@ -1,0 +1,98 @@
+"""Unit + property tests for fault injection and random topologies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.irregular import (
+    inject_link_faults,
+    random_connected_topology,
+    random_fault_patterns,
+)
+from repro.topology.mesh import make_mesh
+
+
+class TestInjectLinkFaults:
+    def test_removes_requested_count(self):
+        topo = make_mesh(4, 4)
+        faulty = inject_link_faults(topo, 5, random.Random(1))
+        assert faulty.num_edges == topo.num_edges - 5
+
+    def test_stays_connected(self):
+        topo = make_mesh(4, 4)
+        faulty = inject_link_faults(topo, 8, random.Random(2))
+        assert faulty.is_connected()
+
+    def test_original_untouched(self):
+        topo = make_mesh(4, 4)
+        inject_link_faults(topo, 4, random.Random(3))
+        assert topo.num_edges == 24
+
+    def test_zero_faults_is_copy(self):
+        topo = make_mesh(4, 4)
+        faulty = inject_link_faults(topo, 0, random.Random(4))
+        assert faulty.num_edges == topo.num_edges
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            inject_link_faults(make_mesh(4, 4), -1, random.Random(5))
+
+    def test_impossible_count_raises(self):
+        # A 4x4 mesh needs >= 15 links to stay connected; 24-15=9 removable.
+        with pytest.raises(ValueError):
+            inject_link_faults(make_mesh(4, 4), 20, random.Random(6))
+
+    def test_maximum_removable_leaves_spanning_tree(self):
+        topo = make_mesh(4, 4)
+        faulty = inject_link_faults(topo, 9, random.Random(7))
+        assert faulty.num_edges == 15  # spanning tree of 16 nodes
+        assert faulty.is_connected()
+
+    def test_deterministic_given_rng(self):
+        a = inject_link_faults(make_mesh(4, 4), 6, random.Random(42))
+        b = inject_link_faults(make_mesh(4, 4), 6, random.Random(42))
+        assert a.bidirectional_links() == b.bidirectional_links()
+
+    def test_name_records_fault_count(self):
+        faulty = inject_link_faults(make_mesh(4, 4), 3, random.Random(8))
+        assert "f3" in faulty.name
+
+    @given(st.integers(min_value=0, max_value=9), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_property_connected_and_exact(self, faults, seed):
+        faulty = inject_link_faults(make_mesh(4, 4), faults, random.Random(seed))
+        assert faulty.is_connected()
+        assert faulty.num_edges == 24 - faults
+
+
+class TestRandomFaultPatterns:
+    def test_count(self):
+        patterns = random_fault_patterns(make_mesh(4, 4), 4, 5, seed=1)
+        assert len(patterns) == 5
+
+    def test_patterns_differ(self):
+        patterns = random_fault_patterns(make_mesh(8, 8), 8, 4, seed=1)
+        edge_sets = {tuple(p.bidirectional_links()) for p in patterns}
+        assert len(edge_sets) > 1
+
+    def test_reproducible(self):
+        a = random_fault_patterns(make_mesh(4, 4), 4, 3, seed=9)
+        b = random_fault_patterns(make_mesh(4, 4), 4, 3, seed=9)
+        assert [p.bidirectional_links() for p in a] == [
+            p.bidirectional_links() for p in b
+        ]
+
+
+class TestRandomConnectedTopology:
+    @given(st.integers(min_value=2, max_value=24), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_always_connected(self, nodes, extra):
+        topo = random_connected_topology(nodes, extra, random.Random(nodes * 31 + extra))
+        assert topo.is_connected()
+        assert topo.num_edges >= nodes - 1
+
+    def test_extra_edges_bounded_by_complete_graph(self):
+        topo = random_connected_topology(4, 100, random.Random(1))
+        assert topo.num_edges == 6  # K4

@@ -1,0 +1,89 @@
+"""Unit tests for the regular topology builders."""
+
+import pytest
+
+from repro.topology.mesh import coords_of, make_mesh, make_ring, make_torus, node_at
+
+
+class TestMesh:
+    def test_4x4_counts(self):
+        topo = make_mesh(4, 4)
+        assert topo.num_nodes == 16
+        assert topo.num_edges == 24  # 2 * 4 * 3
+
+    def test_8x8_counts(self):
+        topo = make_mesh(8, 8)
+        assert topo.num_nodes == 64
+        assert topo.num_edges == 112  # 2 * 8 * 7
+
+    def test_rectangular_mesh(self):
+        topo = make_mesh(3, 2)
+        assert topo.num_nodes == 6
+        assert topo.num_edges == 7
+
+    def test_corner_degree(self):
+        topo = make_mesh(4, 4)
+        assert topo.degree(0) == 2
+        assert topo.degree(node_at(3, 3, 4)) == 2
+
+    def test_center_degree(self):
+        topo = make_mesh(4, 4)
+        assert topo.degree(node_at(1, 1, 4)) == 4
+
+    def test_coordinates_recorded(self):
+        topo = make_mesh(4, 4)
+        assert topo.coordinates[node_at(2, 3, 4)] == (2, 3)
+
+    def test_connected(self):
+        assert make_mesh(5, 3).is_connected()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            make_mesh(1, 1)
+
+    def test_node_at_roundtrip(self):
+        for node in range(12):
+            x, y = coords_of(node, 4)
+            assert node_at(x, y, 4) == node
+
+
+class TestTorus:
+    def test_counts(self):
+        topo = make_torus(4, 4)
+        assert topo.num_nodes == 16
+        assert topo.num_edges == 32  # every node degree 4
+
+    def test_all_degree_four(self):
+        topo = make_torus(4, 4)
+        assert all(topo.degree(n) == 4 for n in topo.nodes)
+
+    def test_wraparound_links_exist(self):
+        topo = make_torus(4, 4)
+        assert topo.has_edge(node_at(0, 0, 4), node_at(3, 0, 4))
+        assert topo.has_edge(node_at(0, 0, 4), node_at(0, 3, 4))
+
+    def test_diameter_half_of_mesh(self):
+        assert make_torus(4, 4).diameter() == 4
+
+    def test_dimension_two_rejected(self):
+        with pytest.raises(ValueError):
+            make_torus(2, 4)
+
+
+class TestRing:
+    def test_counts(self):
+        topo = make_ring(8)
+        assert topo.num_nodes == 8
+        assert topo.num_edges == 8
+
+    def test_all_degree_two(self):
+        topo = make_ring(6)
+        assert all(topo.degree(n) == 2 for n in topo.nodes)
+
+    def test_diameter(self):
+        assert make_ring(8).diameter() == 4
+        assert make_ring(7).diameter() == 3
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            make_ring(2)

@@ -1,0 +1,141 @@
+"""Tests for chiplet systems and random topologies (Section VI builders)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drain.path import euler_drain_path
+from repro.topology.chiplet import make_chiplet_system, make_dual_chiplet
+from repro.topology.randomized import make_random_regular, make_small_world
+
+
+class TestChipletSystem:
+    def test_node_count(self):
+        system = make_chiplet_system(2, 2, num_chiplets=4, interposer_width=2)
+        assert system.topology.num_nodes == 4 * 4 + 4
+
+    def test_connected(self):
+        system = make_chiplet_system(3, 2, num_chiplets=3)
+        assert system.topology.is_connected()
+
+    def test_boundary_links_counted(self):
+        system = make_chiplet_system(2, 2, num_chiplets=4, links_per_chiplet=2)
+        assert len(system.boundary_links) == 8
+        for a, b in system.boundary_links:
+            assert system.topology.has_edge(a, b)
+            assert system.is_boundary_link(a, b)
+            assert system.is_boundary_link(b, a)
+
+    def test_chiplet_of(self):
+        system = make_chiplet_system(2, 2, num_chiplets=2, interposer_width=2)
+        assert system.chiplet_of(0) == 0
+        assert system.chiplet_of(4) == 1
+        assert system.chiplet_of(8) is None  # interposer node
+
+    def test_chiplets_internally_meshed(self):
+        system = make_chiplet_system(2, 2, num_chiplets=2)
+        topo = system.topology
+        # Chiplet 0 is nodes 0..3 as a 2x2 mesh: 4 internal links.
+        internal = [
+            (a, b) for a, b in topo.bidirectional_links()
+            if a < 4 and b < 4
+        ]
+        assert len(internal) == 4
+
+    def test_drain_path_covers_composed_network(self):
+        """Section VI's point: the drain path exists for the composition."""
+        system = make_chiplet_system(2, 2, num_chiplets=4, links_per_chiplet=1)
+        path = euler_drain_path(system.topology)
+        assert len(path) == 2 * system.topology.num_edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_chiplet_system(num_chiplets=0)
+        with pytest.raises(ValueError):
+            make_chiplet_system(links_per_chiplet=0)
+        with pytest.raises(ValueError):
+            make_chiplet_system(2, 2, links_per_chiplet=5)
+
+
+class TestDualChiplet:
+    def test_shape(self):
+        system = make_dual_chiplet(3, 3, bridges=2)
+        assert system.topology.num_nodes == 18
+        assert len(system.boundary_links) == 2
+        assert system.topology.is_connected()
+
+    def test_single_bridge_is_critical(self):
+        system = make_dual_chiplet(3, 3, bridges=1)
+        a, b = system.boundary_links[0]
+        assert system.topology.is_critical_edge(a, b)
+
+    def test_drain_path_crosses_bridge(self):
+        system = make_dual_chiplet(2, 2, bridges=1)
+        path = euler_drain_path(system.topology)
+        a, b = system.boundary_links[0]
+        crossings = [
+            l for l in path.links
+            if {l.src, l.dst} == {a, b}
+        ]
+        assert len(crossings) == 2  # both directions, exactly once each
+
+    def test_bridge_bounds(self):
+        with pytest.raises(ValueError):
+            make_dual_chiplet(3, 3, bridges=0)
+        with pytest.raises(ValueError):
+            make_dual_chiplet(3, 3, bridges=4)
+
+
+class TestSmallWorld:
+    def test_shortcuts_added(self):
+        topo = make_small_world(16, 6, random.Random(1))
+        assert topo.num_edges == 16 + 6
+
+    def test_shortcut_budget_capped(self):
+        topo = make_small_world(5, 100, random.Random(2))
+        assert topo.num_edges == 10  # K5
+
+    def test_diameter_reduced(self):
+        ring_diameter = 16
+        topo = make_small_world(32, 16, random.Random(3))
+        assert topo.diameter() < ring_diameter
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            make_small_world(3, 1, random.Random(4))
+
+    @given(st.integers(min_value=4, max_value=24),
+           st.integers(min_value=0, max_value=12),
+           st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_property_connected_with_drain_path(self, nodes, shortcuts, seed):
+        topo = make_small_world(nodes, shortcuts, random.Random(seed))
+        assert topo.is_connected()
+        euler_drain_path(topo).validate()
+
+
+class TestRandomRegular:
+    def test_degree(self):
+        topo = make_random_regular(12, 3, random.Random(1))
+        assert all(topo.degree(n) == 3 for n in topo.nodes)
+
+    def test_connected(self):
+        topo = make_random_regular(16, 4, random.Random(2))
+        assert topo.is_connected()
+
+    def test_odd_total_stubs_rejected(self):
+        with pytest.raises(ValueError):
+            make_random_regular(5, 3, random.Random(3))
+
+    def test_degree_bounds(self):
+        with pytest.raises(ValueError):
+            make_random_regular(8, 1, random.Random(4))
+        with pytest.raises(ValueError):
+            make_random_regular(8, 8, random.Random(5))
+
+    def test_drain_path_on_random_regular(self):
+        topo = make_random_regular(14, 3, random.Random(6))
+        path = euler_drain_path(topo)
+        assert len(path) == 2 * topo.num_edges

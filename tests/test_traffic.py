@@ -1,0 +1,169 @@
+"""Unit tests for synthetic traffic patterns and the Bernoulli injector."""
+
+import random
+
+import pytest
+
+from repro.core.config import Scheme
+from repro.core.simulator import Simulation
+from repro.router.packet import MessageClass
+from repro.topology.mesh import make_mesh, node_at
+from repro.traffic.synthetic import (
+    BitComplement,
+    BitShuffle,
+    Hotspot,
+    SyntheticTraffic,
+    Transpose,
+    UniformRandom,
+    pattern_by_name,
+)
+from tests.conftest import make_config
+
+
+class TestPatterns:
+    def test_uniform_random_never_self(self):
+        pattern = UniformRandom(16)
+        rng = random.Random(1)
+        for _ in range(500):
+            dst = pattern.destination(3, rng)
+            assert dst is not None and dst != 3 and 0 <= dst < 16
+
+    def test_uniform_random_covers_all_destinations(self):
+        pattern = UniformRandom(8)
+        rng = random.Random(2)
+        seen = {pattern.destination(0, rng) for _ in range(500)}
+        assert seen == {1, 2, 3, 4, 5, 6, 7}
+
+    def test_transpose_mapping(self):
+        pattern = Transpose(16, 4)
+        rng = random.Random(3)
+        assert pattern.destination(node_at(1, 3, 4), rng) == node_at(3, 1, 4)
+
+    def test_transpose_diagonal_silent(self):
+        pattern = Transpose(16, 4)
+        rng = random.Random(4)
+        for d in range(4):
+            assert pattern.destination(node_at(d, d, 4), rng) is None
+
+    def test_transpose_requires_square(self):
+        with pytest.raises(ValueError):
+            Transpose(12, 4)
+        with pytest.raises(ValueError):
+            Transpose(16, None)
+
+    def test_bit_complement(self):
+        pattern = BitComplement(16)
+        rng = random.Random(5)
+        assert pattern.destination(0b0101, rng) == 0b1010
+        assert pattern.destination(0, rng) == 15
+
+    def test_bit_complement_power_of_two_only(self):
+        with pytest.raises(ValueError):
+            BitComplement(12)
+
+    def test_shuffle_rotates_bits(self):
+        pattern = BitShuffle(8)
+        rng = random.Random(6)
+        assert pattern.destination(0b001, rng) == 0b010
+        assert pattern.destination(0b100, rng) == 0b001
+
+    def test_shuffle_fixed_points_silent(self):
+        pattern = BitShuffle(8)
+        rng = random.Random(7)
+        assert pattern.destination(0, rng) is None
+        assert pattern.destination(7, rng) is None
+
+    def test_hotspot_concentrates_traffic(self):
+        pattern = Hotspot(16, hotspots=[5], hotspot_fraction=0.5)
+        rng = random.Random(8)
+        hits = sum(1 for _ in range(2000) if pattern.destination(0, rng) == 5)
+        assert hits > 600  # ~50% + uniform share
+
+    def test_pattern_by_name(self):
+        assert isinstance(pattern_by_name("uniform_random", 16), UniformRandom)
+        assert isinstance(pattern_by_name("transpose", 16, 4), Transpose)
+        with pytest.raises(ValueError):
+            pattern_by_name("nope", 16)
+
+
+class TestSyntheticTraffic:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic(UniformRandom(16), 1.5, random.Random(1))
+
+    def test_generation_rate_close_to_nominal(self, mesh4):
+        traffic = SyntheticTraffic(UniformRandom(16), 0.1, random.Random(2))
+        sim = Simulation(mesh4, make_config(Scheme.NONE), traffic)
+        sim.run(2000)
+        expected = 0.1 * 16 * 2000
+        assert abs(traffic.generated - expected) / expected < 0.1
+
+    def test_open_loop_records_source_queueing(self, mesh4):
+        """At overload the backlog grows and latencies include queueing."""
+        traffic = SyntheticTraffic(UniformRandom(16), 0.9, random.Random(3))
+        sim = Simulation(mesh4, make_config(Scheme.DRAIN, epoch=400), traffic)
+        sim.run(800)
+        assert traffic.backlog_size() > 0
+
+    def test_consume_empties_ejection_queues(self, mesh4):
+        traffic = SyntheticTraffic(UniformRandom(16), 0.05, random.Random(4))
+        sim = Simulation(mesh4, make_config(Scheme.NONE), traffic)
+        sim.run(1000)
+        for node in range(16):
+            for cls in MessageClass:
+                assert sim.fabric.peek_ejection(node, cls) is None
+
+    def test_never_done(self):
+        traffic = SyntheticTraffic(UniformRandom(16), 0.1, random.Random(5))
+        assert not traffic.done()
+
+
+class TestAdditionalPatterns:
+    def test_bit_reverse(self):
+        from repro.traffic.synthetic import BitReverse
+
+        pattern = BitReverse(8)
+        rng = random.Random(1)
+        assert pattern.destination(0b001, rng) == 0b100
+        assert pattern.destination(0b110, rng) == 0b011
+        assert pattern.destination(0b000, rng) is None  # palindrome
+
+    def test_bit_reverse_power_of_two_only(self):
+        from repro.traffic.synthetic import BitReverse
+
+        with pytest.raises(ValueError):
+            BitReverse(12)
+
+    def test_tornado_half_row_shift(self):
+        from repro.traffic.synthetic import Tornado
+
+        pattern = Tornado(16, 4)
+        rng = random.Random(2)
+        assert pattern.destination(node_at(0, 2, 4), rng) == node_at(1, 2, 4)
+        assert pattern.destination(node_at(3, 0, 4), rng) == node_at(0, 0, 4)
+
+    def test_tornado_stays_in_row(self):
+        from repro.traffic.synthetic import Tornado
+
+        pattern = Tornado(64, 8)
+        rng = random.Random(3)
+        for src in range(64):
+            dst = pattern.destination(src, rng)
+            assert dst is not None
+            assert dst // 8 == src // 8
+
+    def test_nearest_neighbor_adjacent(self):
+        from repro.topology.mesh import make_mesh
+        from repro.traffic.synthetic import NearestNeighbor
+
+        mesh = make_mesh(4, 4)
+        pattern = NearestNeighbor(16, 4)
+        rng = random.Random(4)
+        for _ in range(200):
+            src = rng.randrange(16)
+            dst = pattern.destination(src, rng)
+            assert mesh.has_edge(src, dst)
+
+    def test_new_patterns_registered(self):
+        for name in ("bit_reverse", "tornado", "nearest_neighbor"):
+            assert pattern_by_name(name, 16, 4) is not None

@@ -1,0 +1,65 @@
+"""Unit tests for drain turn-tables (Figure 7's per-router registers)."""
+
+import pytest
+
+from repro.drain.path import euler_drain_path
+from repro.drain.turntable import TurnTable, build_turn_tables
+from repro.topology.graph import Link
+from repro.topology.mesh import make_mesh, make_ring
+
+
+class TestBuildTurnTables:
+    def test_one_table_per_router(self):
+        topo = make_mesh(3, 3)
+        tables = build_turn_tables(euler_drain_path(topo))
+        assert set(tables) == set(topo.nodes)
+
+    def test_entries_cover_all_input_links(self):
+        topo = make_mesh(4, 4)
+        tables = build_turn_tables(euler_drain_path(topo))
+        for n, table in tables.items():
+            assert set(table.input_links()) == set(topo.links_into(n))
+
+    def test_outputs_leave_the_router(self):
+        topo = make_ring(5)
+        tables = build_turn_tables(euler_drain_path(topo))
+        for n, table in tables.items():
+            for in_link in table.input_links():
+                out = table.output_for(in_link)
+                assert out.src == n
+
+    def test_tables_reassemble_the_path(self):
+        topo = make_mesh(3, 3)
+        path = euler_drain_path(topo)
+        tables = build_turn_tables(path)
+        # Walk the turn tables starting from the path's first link; we must
+        # traverse every link exactly once and return to the start.
+        start = path.links[0]
+        seen = []
+        link = start
+        for _ in range(len(path)):
+            seen.append(link)
+            link = tables[link.dst].output_for(link)
+        assert link == start
+        assert len(set(seen)) == len(path)
+
+    def test_entry_count_matches_degree(self):
+        topo = make_mesh(4, 4)
+        tables = build_turn_tables(euler_drain_path(topo))
+        for n in topo.nodes:
+            assert len(tables[n]) == topo.degree(n)
+
+
+class TestTurnTableValidation:
+    def test_wrong_router_rejected(self):
+        with pytest.raises(ValueError):
+            TurnTable(0, {Link(1, 2): Link(2, 3)})
+
+    def test_output_from_other_router_rejected(self):
+        with pytest.raises(ValueError):
+            TurnTable(2, {Link(1, 2): Link(3, 4)})
+
+    def test_missing_input_link_raises_keyerror(self):
+        table = TurnTable(2, {Link(1, 2): Link(2, 1)})
+        with pytest.raises(KeyError):
+            table.output_for(Link(3, 2))

@@ -1,0 +1,82 @@
+"""Tests for the plain-text visualisation helpers."""
+
+import random
+
+import pytest
+
+from repro.drain.path import euler_drain_path
+from repro.topology.graph import Topology
+from repro.topology.irregular import inject_link_faults
+from repro.topology.mesh import make_mesh
+from repro.viz import render_drain_path, render_heat, render_histogram, render_mesh
+
+
+class TestRenderMesh:
+    def test_full_mesh_has_all_connectors(self):
+        art = render_mesh(make_mesh(3, 3))
+        assert art.count("o") == 9
+        assert art.count("--") == 6  # horizontal links of a 3x3 mesh
+        assert art.count("|") == 6  # vertical links of a 3x3 mesh
+
+    def test_faulty_link_leaves_gap(self):
+        topo = make_mesh(3, 3)
+        healthy = render_mesh(topo)
+        topo.remove_edge(0, 1)
+        faulty = render_mesh(topo)
+        assert faulty.count("--") == healthy.count("--") - 1
+
+    def test_marks_override_labels(self):
+        art = render_mesh(make_mesh(2, 2), mark={0: "D"})
+        assert "D" in art
+
+    def test_requires_coordinates(self):
+        with pytest.raises(ValueError):
+            render_mesh(Topology(3, [(0, 1), (1, 2)]))
+
+
+class TestRenderDrainPath:
+    def test_all_links_listed(self):
+        topo = make_mesh(2, 2)
+        path = euler_drain_path(topo)
+        art = render_drain_path(path, per_line=4)
+        assert art.count("->") == len(path)
+        assert "[   0]" in art
+
+    def test_per_line_validated(self):
+        path = euler_drain_path(make_mesh(2, 2))
+        with pytest.raises(ValueError):
+            render_drain_path(path, per_line=0)
+
+
+class TestRenderHistogram:
+    def test_empty(self):
+        assert "(no samples)" in render_histogram([], title="t")
+
+    def test_constant_samples(self):
+        art = render_histogram([3.0, 3.0, 3.0])
+        assert "#" in art and "(3)" in art
+
+    def test_bins_and_counts(self):
+        art = render_histogram([1.0, 1.1, 9.0], bins=2, width=10)
+        assert " 2" in art and " 1" in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_histogram([1.0], bins=0)
+
+
+class TestRenderHeat:
+    def test_extremes_use_ramp_ends(self):
+        topo = make_mesh(2, 2)
+        art = render_heat({0: 0.0, 1: 1.0, 2: 0.5, 3: 0.5}, topo)
+        assert "@" in art  # the hottest router
+        assert " " in art or "." in art
+
+    def test_uniform_values(self):
+        topo = make_mesh(2, 2)
+        art = render_heat({n: 1.0 for n in range(4)}, topo)
+        assert art  # renders without dividing by zero
+
+    def test_requires_values(self):
+        with pytest.raises(ValueError):
+            render_heat({}, make_mesh(2, 2))

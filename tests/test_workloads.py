@@ -1,0 +1,76 @@
+"""Unit tests for the surrogate application workload profiles."""
+
+import random
+
+import pytest
+
+from repro.protocol.coherence import CoherenceTraffic
+from repro.traffic.workloads import (
+    ALL_WORKLOADS,
+    LIGRA,
+    PARSEC,
+    SPLASH2,
+    make_workload_traffic,
+    workload_by_name,
+)
+
+
+class TestProfiles:
+    def test_all_suites_populated(self):
+        assert len(PARSEC) == 5
+        assert len(SPLASH2) == 5
+        assert len(LIGRA) == 7
+
+    def test_no_duplicate_names(self):
+        names = [w.name for w in PARSEC + SPLASH2 + LIGRA]
+        assert len(names) == len(set(names))
+
+    def test_canneal_is_heaviest_parsec(self):
+        """Section II-A: canneal has the highest injection rate."""
+        canneal = workload_by_name("canneal")
+        assert all(
+            w.issue_probability <= canneal.issue_probability for w in PARSEC
+        )
+
+    def test_suites_tagged(self):
+        assert all(w.suite == "parsec" for w in PARSEC)
+        assert all(w.suite == "splash2" for w in SPLASH2)
+        assert all(w.suite == "ligra" for w in LIGRA)
+
+    def test_probabilities_in_range(self):
+        for w in ALL_WORKLOADS.values():
+            assert 0.0 < w.issue_probability <= 1.0
+            assert 0.0 <= w.forward_probability <= 1.0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            workload_by_name("doom")
+
+
+class TestMakeWorkloadTraffic:
+    def test_builds_coherence_traffic(self):
+        traffic = make_workload_traffic(
+            workload_by_name("bfs"), 64, random.Random(1), mesh_width=8
+        )
+        assert isinstance(traffic, CoherenceTraffic)
+        assert traffic.issue_probability == workload_by_name("bfs").issue_probability
+
+    def test_forward_probability_transferred(self):
+        profile = workload_by_name("canneal")
+        traffic = make_workload_traffic(profile, 16, random.Random(2))
+        assert traffic.config.forward_probability == profile.forward_probability
+
+    def test_intensity_scale(self):
+        profile = workload_by_name("bfs")
+        traffic = make_workload_traffic(
+            profile, 64, random.Random(3), intensity_scale=2.0
+        )
+        assert traffic.issue_probability == pytest.approx(
+            min(1.0, profile.issue_probability * 2.0)
+        )
+
+    def test_transaction_quota_passed(self):
+        traffic = make_workload_traffic(
+            workload_by_name("fft"), 16, random.Random(4), total_transactions=99
+        )
+        assert traffic.total_transactions == 99
