@@ -4,7 +4,12 @@ Subcommands:
 
 - ``repro-drain list`` — the available experiments (paper artefacts);
 - ``repro-drain experiment fig11`` — regenerate one artefact and print its
-  rows (``--scale full`` for paper-like sweep sizes);
+  rows (``--scale full`` for paper-like sweep sizes; ``--workers N`` fans
+  the sweep out over worker processes, ``--no-cache`` disables the
+  on-disk result cache, ``--out-dir DIR`` writes the rows and a JSON run
+  manifest alongside them);
+- ``repro-drain sweep`` — a generic parallel injection-rate sweep over
+  schemes × seeds × rates on any topology;
 - ``repro-drain run`` — a single simulation with explicit knobs;
 - ``repro-drain drainpath`` — run the offline algorithm on a topology and
   print the resulting drain path / turn-table summary.
@@ -17,14 +22,18 @@ Topology specifiers: ``mesh:WxH``, ``torus:WxH``, ``ring:N``,
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import random
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from .core.config import DrainConfig, NetworkConfig, Scheme, SimConfig
 from .core.simulator import Simulation
 from .drain.path import find_drain_path
 from .drain.turntable import build_turn_tables
+from .harness import Harness, ResultCache, build_manifest, write_manifest
 from .experiments import (
     common,
     fig1_fig2_scenarios,
@@ -125,6 +134,32 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_harness(args: argparse.Namespace) -> Harness:
+    """Harness from the shared ``--workers/--no-cache/--cache-dir`` flags."""
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)  # None -> default location
+    return Harness(workers=args.workers, cache=cache)
+
+
+def _write_artefact(
+    name: str,
+    rows: List[Dict],
+    harness: Harness,
+    scale,
+    out_dir: str,
+) -> None:
+    """Persist rows as ``<name>.json`` plus ``<name>.manifest.json``."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{name}.json").write_text(
+        json.dumps(rows, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    manifest = build_manifest(name, harness, scale=scale)
+    path = write_manifest(manifest, directory)
+    print(f"wrote {directory / (name + '.json')} and {path}", file=sys.stderr)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     name = args.name
     if name not in EXPERIMENTS:
@@ -132,17 +167,99 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     fn = EXPERIMENTS[name]
+    harness = _build_harness(args)
+    scale = None
     if name in _SCALELESS:
         rows = fn()
     else:
         scale = common.Scale.full() if args.scale == "full" else common.Scale.ci()
-        rows = fn(scale=scale)
+        kwargs = {"scale": scale}
+        if "harness" in inspect.signature(fn).parameters:
+            kwargs["harness"] = harness
+        rows = fn(**kwargs)
     printable = [
         {k: v for k, v in row.items() if isinstance(v, (int, float, str, bool))}
         for row in rows
     ]
     columns = list(printable[0].keys()) if printable else []
     print(common.format_table(printable, columns=columns, title=name))
+    if harness.records:
+        executed = harness.trials_executed
+        print(
+            f"[harness] {len(harness.records)} trials "
+            f"({harness.cache_hits} cached, {executed} executed, "
+            f"{harness.simulated_seconds:.1f}s simulated, "
+            f"workers={harness.workers})",
+            file=sys.stderr,
+        )
+    if args.out_dir:
+        _write_artefact(name, printable, harness, scale, args.out_dir)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Generic parallel sweep: schemes × seeds × rates on one topology."""
+    topo = parse_topology(args.topology, faults=args.faults, seed=args.seed)
+    scale = common.Scale.full() if args.scale == "full" else common.Scale.ci()
+    try:
+        schemes = [Scheme(s) for s in args.schemes.split(",") if s]
+    except ValueError:
+        known = ", ".join(s.value for s in Scheme)
+        print(f"unknown scheme in --schemes {args.schemes!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    try:
+        rates = ([float(r) for r in args.rates.split(",")] if args.rates
+                 else list(scale.sweep_rates))
+    except ValueError:
+        print(f"--rates must be comma-separated numbers, got {args.rates!r}",
+              file=sys.stderr)
+        return 2
+    mesh_width = None
+    if args.topology.startswith("mesh:"):
+        mesh_width = int(args.topology.split(":")[1].split("x")[0])
+    harness = _build_harness(args)
+
+    specs = []
+    keys = []
+    for scheme in schemes:
+        for seed in range(1, args.seeds + 1):
+            for rate in rates:
+                specs.append(
+                    common.synthetic_trial_for(
+                        topo, scheme, rate, scale,
+                        pattern=args.pattern, mesh_width=mesh_width, seed=seed,
+                    )
+                )
+                keys.append((scheme, seed, rate))
+    results = harness.run(specs, label="sweep")
+
+    rows = [
+        {
+            "scheme": scheme.value,
+            "seed": seed,
+            "rate": rate,
+            "throughput": res["throughput"],
+            "latency": res["avg_latency"],
+            "p99_latency": res["p99_latency"],
+            "ejected": res["ejected"],
+        }
+        for (scheme, seed, rate), res in zip(keys, results)
+    ]
+    title = f"sweep {topo.name} {args.pattern}"
+    columns = ["scheme", "seed", "rate", "throughput", "latency",
+               "p99_latency", "ejected"]
+    print(common.format_table(rows, columns=columns, title=title))
+    print(
+        f"[harness] {len(harness.records)} trials "
+        f"({harness.cache_hits} cached, {harness.trials_executed} executed, "
+        f"{harness.simulated_seconds:.1f}s simulated, "
+        f"workers={harness.workers})",
+        file=sys.stderr,
+    )
+    if args.out_dir:
+        name = f"sweep_{topo.name}_{args.pattern}".replace(":", "_")
+        _write_artefact(name, rows, harness, scale, args.out_dir)
     return 0
 
 
@@ -215,9 +332,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    def add_harness_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: $REPRO_WORKERS or 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk trial result cache")
+        p.add_argument("--cache-dir", default=None,
+                       help="cache location (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro-drain)")
+        p.add_argument("--out-dir", default=None,
+                       help="write rows JSON + run manifest to this directory "
+                            "(e.g. benchmarks/results)")
+
     p_exp = sub.add_parser("experiment", help="regenerate a paper artefact")
     p_exp.add_argument("name")
     p_exp.add_argument("--scale", choices=("ci", "full"), default="ci")
+    add_harness_flags(p_exp)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="parallel injection sweep: schemes x seeds x rates"
+    )
+    p_sweep.add_argument("--topology", default="mesh:8x8")
+    p_sweep.add_argument("--faults", type=int, default=0)
+    p_sweep.add_argument("--seed", type=int, default=1,
+                         help="seed for topology construction/faults")
+    p_sweep.add_argument("--schemes", default="escape_vc,spin,drain",
+                         help="comma-separated scheme names")
+    p_sweep.add_argument("--pattern", default="uniform_random")
+    p_sweep.add_argument("--rates", default="",
+                         help="comma-separated injection rates "
+                              "(default: the scale's sweep rates)")
+    p_sweep.add_argument("--seeds", type=int, default=1,
+                         help="number of seeds per (scheme, rate)")
+    p_sweep.add_argument("--scale", choices=("ci", "full"), default="ci")
+    add_harness_flags(p_sweep)
 
     p_run = sub.add_parser("run", help="run a single simulation")
     p_run.add_argument("--topology", default="mesh:8x8")
@@ -256,6 +404,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "list": _cmd_list,
         "experiment": _cmd_experiment,
+        "sweep": _cmd_sweep,
         "run": _cmd_run,
         "drainpath": _cmd_drainpath,
     }

@@ -4,15 +4,35 @@ Every stochastic component of the simulator (traffic generators, fault
 injection, allocator tie-breaking) draws from a ``random.Random`` instance
 derived from a single experiment seed, so that every run is exactly
 reproducible from its seed.
+
+Reproducibility must hold *across processes*: the parallel sweep harness
+(:mod:`repro.harness`) fans trials out over ``multiprocessing`` workers and
+memoizes results on disk, so a child seed derived in a worker today must
+equal the one derived in a fresh interpreter next week. Python's built-in
+``hash()`` is salted per-process for strings (PEP 456) and therefore must
+never appear in seed derivation; labels are hashed with BLAKE2b instead.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 
-__all__ = ["spawn", "derive_seed"]
+__all__ = ["spawn", "derive_seed", "stable_hash"]
 
 _MIX = 0x9E3779B97F4A7C15  # 64-bit golden-ratio constant for seed mixing
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_hash(label: object) -> int:
+    """A 64-bit hash of *label* that is identical in every interpreter.
+
+    The label's ``repr`` is hashed with BLAKE2b, so equal labels always
+    collide and distinct reprs essentially never do. Unlike ``hash(str)``,
+    the result does not depend on ``PYTHONHASHSEED`` or the process.
+    """
+    data = repr(label).encode("utf-8", "backslashreplace")
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
 
 
 def derive_seed(seed: int, *labels: object) -> int:
@@ -20,12 +40,12 @@ def derive_seed(seed: int, *labels: object) -> int:
 
     Labels are hashed into the seed so that e.g. the traffic generator of
     node 7 and the fault pattern of trial 3 never share a stream, while
-    remaining stable across runs.
+    remaining stable across runs, processes and interpreter restarts.
     """
-    value = seed & 0xFFFFFFFFFFFFFFFF
+    value = seed & _MASK
     for label in labels:
-        value = (value ^ (hash(str(label)) & 0xFFFFFFFFFFFFFFFF)) & 0xFFFFFFFFFFFFFFFF
-        value = (value * _MIX + 1) & 0xFFFFFFFFFFFFFFFF
+        value = (value ^ stable_hash(label)) & _MASK
+        value = (value * _MIX + 1) & _MASK
         value ^= value >> 31
     return value
 

@@ -17,19 +17,25 @@ the escape-VC baseline.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import Scheme
-from ..core.simulator import Simulation
+from ..harness import Harness, get_default_harness, workload_trial
+from ..harness.trials import TrialSpec, execute_trial
 from ..topology.graph import Topology
 from ..topology.irregular import random_fault_patterns
 from ..topology.mesh import make_mesh
-from ..traffic.workloads import WorkloadProfile, make_workload_traffic
+from ..traffic.workloads import WorkloadProfile
 from .common import Scale, current_scale, scheme_config
 
-__all__ = ["AppConfig", "APP_CONFIGS", "run_application", "application_study"]
+__all__ = [
+    "AppConfig",
+    "APP_CONFIGS",
+    "application_trial",
+    "run_application",
+    "application_study",
+]
 
 
 @dataclass(frozen=True)
@@ -51,15 +57,15 @@ APP_CONFIGS: Tuple[AppConfig, ...] = (
 )
 
 
-def run_application(
+def application_trial(
     workload: WorkloadProfile,
     topology: Topology,
     app_config: AppConfig,
     scale: Scale,
     seed: int = 1,
     mesh_width: Optional[int] = None,
-) -> Dict:
-    """One workload run under one configuration; returns headline metrics."""
+) -> TrialSpec:
+    """Harness spec for one (workload, topology, configuration) run."""
     config = scheme_config(
         app_config.scheme,
         scale,
@@ -68,26 +74,47 @@ def run_application(
         seed=seed,
     )
     total_txns = scale.app_transactions_per_node * topology.num_nodes
-    traffic = make_workload_traffic(
+    return workload_trial(
+        topology,
+        config,
         workload,
-        topology.num_nodes,
-        random.Random(seed * 5557 + 11),
+        max_cycles=scale.app_max_cycles,
         total_transactions=total_txns,
         mesh_width=mesh_width,
     )
-    sim = Simulation(topology, config, traffic)
-    stats = sim.run(scale.app_max_cycles)
-    completed = traffic.completed
+
+
+def _application_row(app_config: AppConfig, result: Dict) -> Dict:
+    """Translate a workload-trial result into the study's row layout."""
     return {
         "config": app_config.label,
-        "workload": workload.name,
-        "latency": stats.avg_latency,
-        "p99_latency": stats.latency.percentile(99.0) if stats.latency.samples else 0.0,
-        "runtime": stats.cycles,
-        "completed": completed,
-        "finished": traffic.done(),
-        "deadlock_events": stats.deadlock_events,
+        "workload": result["workload"],
+        "latency": result["avg_latency"],
+        "p99_latency": result["p99_latency"],
+        "runtime": result["runtime"],
+        "completed": result["completed"],
+        "finished": result["finished"],
+        "deadlock_events": result["deadlock_events"],
     }
+
+
+def run_application(
+    workload: WorkloadProfile,
+    topology: Topology,
+    app_config: AppConfig,
+    scale: Scale,
+    seed: int = 1,
+    mesh_width: Optional[int] = None,
+) -> Dict:
+    """One workload run under one configuration; returns headline metrics.
+
+    Executes inline; :func:`application_study` submits the identical trial
+    spec through the harness, so both paths produce the same numbers.
+    """
+    spec = application_trial(
+        workload, topology, app_config, scale, seed=seed, mesh_width=mesh_width
+    )
+    return _application_row(app_config, execute_trial(spec))
 
 
 def application_study(
@@ -97,31 +124,54 @@ def application_study(
     mesh_width: int = 8,
     configs: Sequence[AppConfig] = APP_CONFIGS,
     seed: int = 1,
+    harness: Optional[Harness] = None,
 ) -> List[Dict]:
     """Full Figure 12/13-style study: one row per (workload, faults, config).
 
     Each row carries ``norm_latency`` and ``norm_runtime`` relative to the
-    escape-VC baseline of the same (workload, faults) cell.
+    escape-VC baseline of the same (workload, faults) cell. All
+    (workload, fault pattern, configuration) runs are independent and go
+    through the sweep harness as one flat batch.
     """
     scale = scale if scale is not None else current_scale()
+    harness = harness if harness is not None else get_default_harness()
     base = make_mesh(mesh_width, mesh_width)
-    rows: List[Dict] = []
+    topologies_by_faults = {}
     for num_faults in faults:
         if num_faults:
-            topologies = random_fault_patterns(
+            topologies_by_faults[num_faults] = random_fault_patterns(
                 base, num_faults, min(scale.fault_patterns, 2), seed=seed + 41
             )
         else:
-            topologies = [base]
+            topologies_by_faults[num_faults] = [base]
+
+    specs = []
+    keys = []
+    for num_faults in faults:
+        for workload in workloads:
+            for app_config in configs:
+                for i, topo in enumerate(topologies_by_faults[num_faults]):
+                    specs.append(
+                        application_trial(
+                            workload, topo, app_config, scale,
+                            seed=seed + i, mesh_width=mesh_width,
+                        )
+                    )
+                    keys.append((num_faults, workload.name, app_config.label))
+    results = harness.run(specs, label="applications")
+
+    grouped: Dict = {}
+    for key, result in zip(keys, results):
+        grouped.setdefault(key, []).append(result)
+
+    rows: List[Dict] = []
+    for num_faults in faults:
         for workload in workloads:
             per_config: Dict[str, Dict] = {}
             for app_config in configs:
                 metrics = [
-                    run_application(
-                        workload, topo, app_config, scale,
-                        seed=seed + i, mesh_width=mesh_width,
-                    )
-                    for i, topo in enumerate(topologies)
+                    _application_row(app_config, res)
+                    for res in grouped[(num_faults, workload.name, app_config.label)]
                 ]
                 agg = {
                     "config": app_config.label,

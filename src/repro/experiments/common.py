@@ -21,7 +21,10 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.config import DrainConfig, NetworkConfig, Scheme, SimConfig
+from ..core.rng import derive_seed
 from ..core.simulator import Simulation
+from ..harness import Harness, get_default_harness, synthetic_trial
+from ..harness.trials import TrialSpec
 from ..topology.graph import Topology
 from ..topology.irregular import random_fault_patterns
 from ..topology.mesh import make_mesh
@@ -32,6 +35,8 @@ __all__ = [
     "current_scale",
     "scheme_config",
     "run_synthetic",
+    "synthetic_trial_for",
+    "fault_topologies",
     "sweep_injection",
     "saturation_throughput",
     "low_load_latency",
@@ -123,16 +128,66 @@ def run_synthetic(
     num_vns: int = 3,
     vcs_per_vn: int = 2,
 ) -> Simulation:
-    """One synthetic-traffic run; returns the finished :class:`Simulation`."""
+    """One synthetic-traffic run; returns the finished :class:`Simulation`.
+
+    The traffic stream is seeded with :func:`repro.core.rng.derive_seed`
+    using the same labels as :func:`synthetic_trial_for`, so an inline run
+    and a harness trial with identical parameters are bit-identical.
+    """
     config = scheme_config(scheme, scale, num_vns=num_vns, vcs_per_vn=vcs_per_vn, seed=seed)
     traffic = SyntheticTraffic(
         pattern_by_name(pattern, topology.num_nodes, mesh_width),
         rate,
-        random.Random(seed * 7919 + 13),
+        random.Random(derive_seed(seed, "traffic", pattern, rate)),
     )
     sim = Simulation(topology, config, traffic)
     sim.run(scale.total_cycles, warmup=scale.warmup)
     return sim
+
+
+def synthetic_trial_for(
+    topology: Topology,
+    scheme: Scheme,
+    rate: float,
+    scale: Scale,
+    pattern: str = "uniform_random",
+    mesh_width: Optional[int] = None,
+    seed: int = 1,
+    num_vns: int = 3,
+    vcs_per_vn: int = 2,
+) -> TrialSpec:
+    """Harness spec equivalent to :func:`run_synthetic` (same parameters)."""
+    config = scheme_config(scheme, scale, num_vns=num_vns, vcs_per_vn=vcs_per_vn, seed=seed)
+    return synthetic_trial(
+        topology,
+        config,
+        rate,
+        cycles=scale.total_cycles,
+        warmup=scale.warmup,
+        pattern=pattern,
+        mesh_width=mesh_width,
+    )
+
+
+def fault_topologies(
+    base_topology: Topology,
+    num_faults: int,
+    scale: Scale,
+    seed: int = 99,
+) -> List[Topology]:
+    """The trial topologies for one fault count (paper methodology).
+
+    ``num_faults == 0`` is a single trial on the pristine topology; any
+    other count yields ``scale.fault_patterns`` random fault patterns —
+    the same ones :func:`averaged_over_faults` iterates, exposed as a list
+    so experiments can submit every (pattern, rate, scheme) combination to
+    the harness as one flat batch.
+    """
+    if num_faults == 0:
+        return [base_topology]
+    return random_fault_patterns(
+        base_topology, num_faults, scale.fault_patterns, seed
+    )
 
 
 def sweep_injection(
@@ -143,23 +198,31 @@ def sweep_injection(
     mesh_width: Optional[int] = None,
     seed: int = 1,
     rates: Optional[Sequence[float]] = None,
+    harness: Optional[Harness] = None,
 ) -> List[Dict[str, float]]:
-    """Latency/throughput across an injection-rate sweep (one topology)."""
-    rows = []
-    for rate in rates if rates is not None else scale.sweep_rates:
-        sim = run_synthetic(
+    """Latency/throughput across an injection-rate sweep (one topology).
+
+    Each rate is an independent trial submitted through the harness, so
+    the sweep parallelises across workers and memoizes per rate.
+    """
+    rates = list(rates if rates is not None else scale.sweep_rates)
+    specs = [
+        synthetic_trial_for(
             topology, scheme, rate, scale, pattern, mesh_width, seed=seed
         )
-        stats = sim.stats
-        rows.append(
-            {
-                "rate": rate,
-                "throughput": sim.throughput(),
-                "latency": stats.avg_latency,
-                "ejected": stats.packets_ejected,
-            }
-        )
-    return rows
+        for rate in rates
+    ]
+    harness = harness if harness is not None else get_default_harness()
+    results = harness.run(specs, label=f"sweep:{scheme.value}")
+    return [
+        {
+            "rate": rate,
+            "throughput": res["throughput"],
+            "latency": res["avg_latency"],
+            "ejected": res["ejected"],
+        }
+        for rate, res in zip(rates, results)
+    ]
 
 
 def saturation_throughput(rows: Iterable[Dict[str, float]]) -> float:
@@ -179,12 +242,16 @@ def low_load_latency(
     pattern: str = "uniform_random",
     mesh_width: Optional[int] = None,
     seed: int = 1,
+    harness: Optional[Harness] = None,
 ) -> float:
     """Average packet latency at the scale's low-load injection rate."""
-    sim = run_synthetic(
-        topology, scheme, scale.low_load_rate, scale, pattern, mesh_width, seed=seed
+    spec = synthetic_trial_for(
+        topology, scheme, scale.low_load_rate, scale, pattern, mesh_width,
+        seed=seed,
     )
-    return sim.stats.avg_latency
+    harness = harness if harness is not None else get_default_harness()
+    (result,) = harness.run([spec], label=f"lowload:{scheme.value}")
+    return result["avg_latency"]
 
 
 def averaged_over_faults(
@@ -202,9 +269,7 @@ def averaged_over_faults(
     """
     if num_faults == 0:
         return fn(base_topology, 0)
-    patterns = random_fault_patterns(
-        base_topology, num_faults, scale.fault_patterns, seed
-    )
+    patterns = fault_topologies(base_topology, num_faults, scale, seed)
     values = [fn(topo, trial) for trial, topo in enumerate(patterns)]
     return sum(values) / len(values)
 

@@ -4,6 +4,9 @@ Expected shape: DRAIN matches SPIN (at low load deadlocks are extremely
 rare, so the subactive machinery is idle); both beat escape VCs, whose
 up*/down* escape routing forces non-minimal paths; latency rises with
 faults for every scheme as path diversity shrinks.
+
+Each (pattern, fault pattern, scheme) cell is one low-load trial; the
+whole figure goes through the sweep harness as a single batch.
 """
 
 from __future__ import annotations
@@ -11,8 +14,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..core.config import Scheme
+from ..harness import Harness, get_default_harness
 from ..topology.mesh import make_mesh
-from .common import Scale, averaged_over_faults, current_scale, low_load_latency
+from .common import Scale, current_scale, fault_topologies, synthetic_trial_for
 
 __all__ = ["latency_vs_faults", "run"]
 
@@ -25,32 +29,44 @@ def latency_vs_faults(
     patterns: Sequence[str] = ("uniform_random", "transpose"),
     scale: Optional[Scale] = None,
     mesh_width: int = 8,
+    harness: Optional[Harness] = None,
 ) -> List[Dict]:
     """Low-load average latency per (pattern, fault count, scheme)."""
     scale = scale if scale is not None else current_scale()
+    harness = harness if harness is not None else get_default_harness()
     base = make_mesh(mesh_width, mesh_width)
+    topologies = {n: fault_topologies(base, n, scale) for n in faults}
+
+    specs = []
+    keys = []
+    for pattern in patterns:
+        for num_faults in faults:
+            for scheme in SCHEMES:
+                for trial, topo in enumerate(topologies[num_faults]):
+                    specs.append(
+                        synthetic_trial_for(
+                            topo, scheme, scale.low_load_rate, scale,
+                            pattern=pattern, mesh_width=mesh_width,
+                            seed=trial + 1,
+                        )
+                    )
+                    keys.append((pattern, num_faults, scheme))
+    results = harness.run(specs, label="fig11")
+
+    cells: Dict = {}
+    for key, res in zip(keys, results):
+        cells.setdefault(key, []).append(res["avg_latency"])
     rows: List[Dict] = []
     for pattern in patterns:
         for num_faults in faults:
             row: Dict = {"pattern": pattern, "faults": num_faults}
             for scheme in SCHEMES:
-                row[scheme.value] = averaged_over_faults(
-                    base,
-                    num_faults,
-                    scale,
-                    lambda topo, trial: low_load_latency(
-                        topo,
-                        scheme,
-                        scale,
-                        pattern=pattern,
-                        mesh_width=mesh_width,
-                        seed=trial + 1,
-                    ),
-                )
+                values = cells[(pattern, num_faults, scheme)]
+                row[scheme.value] = sum(values) / len(values)
             rows.append(row)
     return rows
 
 
-def run(scale: Optional[Scale] = None) -> List[Dict]:
+def run(scale: Optional[Scale] = None, harness: Optional[Harness] = None) -> List[Dict]:
     """Regenerate Figure 11."""
-    return latency_vs_faults(scale=scale)
+    return latency_vs_faults(scale=scale, harness=harness)

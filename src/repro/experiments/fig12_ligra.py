@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..harness import Harness
 from ..traffic.workloads import LIGRA
 from .applications import application_study
 from .common import Scale, current_scale
@@ -23,8 +24,11 @@ def run(
     scale: Optional[Scale] = None,
     faults: Sequence[int] = (0, 8),
     workloads=None,
+    harness: Optional[Harness] = None,
 ) -> List[Dict]:
     """Regenerate Figure 12 (Ligra, 8x8 mesh)."""
     scale = scale if scale is not None else current_scale()
     selected = workloads if workloads is not None else LIGRA
-    return application_study(selected, faults=faults, scale=scale, mesh_width=8)
+    return application_study(
+        selected, faults=faults, scale=scale, mesh_width=8, harness=harness
+    )

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..harness import Harness
 from ..traffic.workloads import PARSEC, SPLASH2
 from .applications import application_study
 from .common import Scale, current_scale
@@ -20,9 +21,12 @@ def run(
     faults: Sequence[int] = (0, 8),
     workloads=None,
     include_splash2: bool = False,
+    harness: Optional[Harness] = None,
 ) -> List[Dict]:
     """Regenerate Figure 13 (PARSEC, optionally with SPLASH-2, 4x4 mesh)."""
     scale = scale if scale is not None else current_scale()
     if workloads is None:
         workloads = list(PARSEC) + (list(SPLASH2) if include_splash2 else [])
-    return application_study(workloads, faults=faults, scale=scale, mesh_width=4)
+    return application_study(
+        workloads, faults=faults, scale=scale, mesh_width=4, harness=harness
+    )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..harness import Harness
 from ..traffic.workloads import LIGRA, WorkloadProfile
 from .applications import application_study
 from .common import Scale, current_scale
@@ -22,12 +23,14 @@ def tail_latency(
     scale: Optional[Scale] = None,
     mesh_width: int = 8,
     faults: Sequence[int] = (0,),
+    harness: Optional[Harness] = None,
 ) -> List[Dict]:
     """99th-percentile latency per (workload, config)."""
     scale = scale if scale is not None else current_scale()
     selected = list(workloads) if workloads is not None else LIGRA[:3]
     rows = application_study(
-        selected, faults=faults, scale=scale, mesh_width=mesh_width
+        selected, faults=faults, scale=scale, mesh_width=mesh_width,
+        harness=harness,
     )
     out: List[Dict] = []
     baselines = {
@@ -49,6 +52,6 @@ def tail_latency(
     return out
 
 
-def run(scale: Optional[Scale] = None) -> List[Dict]:
+def run(scale: Optional[Scale] = None, harness: Optional[Harness] = None) -> List[Dict]:
     """Regenerate Figure 15."""
-    return tail_latency(scale=scale)
+    return tail_latency(scale=scale, harness=harness)

@@ -10,6 +10,10 @@ Expected shape: no deadlocks with 0 links removed; canneal (the highest
 injection rate) deadlocks first as links are removed; deadlocks become more
 common across workloads as more links are removed; 4 VCs delays but does
 not prevent deadlock.
+
+Every (workload, VC count, links removed, seed) cell is one independent
+trial with a halt-on-deadlock watchdog; the full grid runs through the
+sweep harness as a single batch.
 """
 
 from __future__ import annotations
@@ -17,51 +21,16 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence
 
-from ..core.config import NetworkConfig, ProtocolConfig, Scheme, SimConfig
-from ..core.simulator import Simulation
+from ..core.config import NetworkConfig, Scheme, SimConfig
+from ..harness import Harness, get_default_harness, workload_trial
 from ..topology.irregular import inject_link_faults
 from ..topology.mesh import make_mesh
-from ..traffic.workloads import PARSEC, WorkloadProfile, make_workload_traffic
+from ..traffic.workloads import PARSEC, WorkloadProfile
 from .common import Scale, current_scale
 
 __all__ = ["deadlock_likelihood", "run"]
 
 DEFAULT_LINKS_REMOVED: Sequence[int] = (0, 2, 4, 6, 8, 10, 12)
-
-
-def _one_run(
-    workload: WorkloadProfile,
-    links_removed: int,
-    vcs: int,
-    seed: int,
-    scale: Scale,
-    mesh_width: int,
-    intensity_scale: float,
-) -> bool:
-    """Run one trial; True when the run deadlocks."""
-    base = make_mesh(mesh_width, mesh_width)
-    if links_removed:
-        topo = inject_link_faults(base, links_removed, random.Random(seed * 31 + 7))
-    else:
-        topo = base
-    config = SimConfig(
-        scheme=Scheme.NONE,
-        network=NetworkConfig(num_vns=3, vcs_per_vn=vcs),
-        seed=seed,
-    )
-    traffic = make_workload_traffic(
-        workload,
-        topo.num_nodes,
-        random.Random(seed * 101 + 3),
-        protocol=ProtocolConfig(),
-        mesh_width=mesh_width,
-        intensity_scale=intensity_scale,
-    )
-    sim = Simulation(topo, config, traffic, halt_on_deadlock=True)
-    # Deadlock formation is a rare event; give each trial a horizon long
-    # enough for the likelihoods to stabilise even at CI scale.
-    sim.run(max(scale.total_cycles, 4_000))
-    return sim.deadlocked
 
 
 def deadlock_likelihood(
@@ -72,6 +41,7 @@ def deadlock_likelihood(
     scale: Optional[Scale] = None,
     mesh_width: int = 8,
     intensity_scale: float = 1.0,
+    harness: Optional[Harness] = None,
 ) -> List[Dict]:
     """Deadlock percentage per (workload, links removed, VC count).
 
@@ -80,29 +50,68 @@ def deadlock_likelihood(
     """
     scale = scale if scale is not None else current_scale()
     workloads = workloads if workloads is not None else PARSEC
+    harness = harness if harness is not None else get_default_harness()
+    base = make_mesh(mesh_width, mesh_width)
+    # Deadlock formation is a rare event; give each trial a horizon long
+    # enough for the likelihoods to stabilise even at CI scale.
+    horizon = max(scale.total_cycles, 4_000)
+
+    # The faulty topology depends only on (links removed, seed): share it
+    # across workloads and VC options.
+    topologies = {
+        (removed, seed): (
+            inject_link_faults(base, removed, random.Random(seed * 31 + 7))
+            if removed else base
+        )
+        for removed in links_removed
+        for seed in range(1, runs + 1)
+    }
+
+    specs = []
+    keys = []
+    for workload in workloads:
+        for vcs in vcs_options:
+            for removed in links_removed:
+                for seed in range(1, runs + 1):
+                    config = SimConfig(
+                        scheme=Scheme.NONE,
+                        network=NetworkConfig(num_vns=3, vcs_per_vn=vcs),
+                        seed=seed,
+                    )
+                    specs.append(
+                        workload_trial(
+                            topologies[(removed, seed)],
+                            config,
+                            workload,
+                            max_cycles=horizon,
+                            mesh_width=mesh_width,
+                            intensity_scale=intensity_scale,
+                            halt_on_deadlock=True,
+                        )
+                    )
+                    keys.append((workload.name, vcs, removed))
+    results = harness.run(specs, label="fig3")
+
+    hits: Dict = {}
+    for key, res in zip(keys, results):
+        hits[key] = hits.get(key, 0) + int(res["deadlocked"])
     rows: List[Dict] = []
     for workload in workloads:
         for vcs in vcs_options:
             for removed in links_removed:
-                hits = sum(
-                    _one_run(
-                        workload, removed, vcs, seed, scale, mesh_width,
-                        intensity_scale,
-                    )
-                    for seed in range(1, runs + 1)
-                )
                 rows.append(
                     {
                         "workload": workload.name,
                         "vcs": vcs,
                         "links_removed": removed,
-                        "deadlock_pct": 100.0 * hits / runs,
+                        "deadlock_pct":
+                            100.0 * hits[(workload.name, vcs, removed)] / runs,
                         "runs": runs,
                     }
                 )
     return rows
 
 
-def run(scale: Optional[Scale] = None) -> List[Dict]:
+def run(scale: Optional[Scale] = None, harness: Optional[Harness] = None) -> List[Dict]:
     """Regenerate Figure 3 (scaled)."""
-    return deadlock_likelihood(scale=scale)
+    return deadlock_likelihood(scale=scale, harness=harness)

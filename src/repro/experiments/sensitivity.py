@@ -8,11 +8,14 @@ also expose how DRAIN responds to the structural knobs around it:
 - MSHRs per node (bounds in-flight transactions, Section III-D3's
   worst-case-latency argument);
 - packet size in flits (link serialisation; ties to the pre-drain rule).
+
+Each knob setting is one independent trial; every study submits its grid
+through the sweep harness (synthetic trials for the VC/packet-size knobs,
+coherence-protocol trials for the ejection-depth/MSHR knobs).
 """
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional, Sequence
 
 from ..core.config import (
@@ -22,10 +25,8 @@ from ..core.config import (
     Scheme,
     SimConfig,
 )
-from ..core.simulator import Simulation
-from ..protocol.coherence import CoherenceTraffic
+from ..harness import Harness, coherence_trial, get_default_harness, synthetic_trial
 from ..topology.mesh import make_mesh
-from ..traffic.synthetic import SyntheticTraffic, UniformRandom
 from .common import Scale, current_scale
 
 __all__ = [
@@ -37,138 +38,152 @@ __all__ = [
 ]
 
 
-def _drain_sim(topology, scale, rate=0.08, seed=5, **net_kwargs) -> Simulation:
+def _drain_trial(topology, scale, rate=0.08, seed=5, **net_kwargs):
+    """Synthetic DRAIN trial mirroring the old inline `_drain_sim` shape."""
     config = SimConfig(
         scheme=Scheme.DRAIN,
         network=NetworkConfig(num_vns=1, **net_kwargs),
         drain=DrainConfig(epoch=scale.epoch),
         seed=seed,
     )
-    traffic = SyntheticTraffic(
-        UniformRandom(topology.num_nodes), rate, random.Random(seed)
+    return synthetic_trial(
+        topology, config, rate,
+        cycles=scale.total_cycles, warmup=scale.warmup,
     )
-    sim = Simulation(topology, config, traffic)
-    sim.run(scale.total_cycles, warmup=scale.warmup)
-    return sim
 
 
 def vc_sensitivity(
     vcs_options: Sequence[int] = (1, 2, 4, 6),
     scale: Optional[Scale] = None,
     mesh_width: int = 8,
+    harness: Optional[Harness] = None,
 ) -> List[Dict]:
     """DRAIN latency/throughput vs VCs per VN (synthetic, moderate load)."""
     scale = scale if scale is not None else current_scale()
+    harness = harness if harness is not None else get_default_harness()
     topology = make_mesh(mesh_width, mesh_width)
-    rows = []
-    for vcs in vcs_options:
-        sim = _drain_sim(topology, scale, vcs_per_vn=vcs)
-        rows.append(
-            {
-                "vcs_per_vn": vcs,
-                "latency": sim.stats.avg_latency,
-                "throughput": sim.throughput(),
-            }
-        )
-    return rows
+    specs = [
+        _drain_trial(topology, scale, vcs_per_vn=vcs) for vcs in vcs_options
+    ]
+    results = harness.run(specs, label="sensitivity:vcs")
+    return [
+        {
+            "vcs_per_vn": vcs,
+            "latency": res["avg_latency"],
+            "throughput": res["throughput"],
+        }
+        for vcs, res in zip(vcs_options, results)
+    ]
 
 
 def ejection_depth_sensitivity(
     depths: Sequence[int] = (1, 2, 4, 8),
     scale: Optional[Scale] = None,
     mesh_width: int = 4,
+    harness: Optional[Harness] = None,
 ) -> List[Dict]:
     """Protocol runtime vs per-class ejection-queue depth (DRAIN, 1 VN)."""
     scale = scale if scale is not None else current_scale()
+    harness = harness if harness is not None else get_default_harness()
     topology = make_mesh(mesh_width, mesh_width)
-    rows = []
     quota = scale.app_transactions_per_node * topology.num_nodes
+    specs = []
     for depth in depths:
         config = SimConfig(
             scheme=Scheme.DRAIN,
             network=NetworkConfig(num_vns=1, vcs_per_vn=2,
                                   ejection_queue_depth=depth),
             drain=DrainConfig(epoch=min(scale.epoch, 1024)),
+            seed=3,
         )
-        traffic = CoherenceTraffic(
-            topology.num_nodes, ProtocolConfig(), 0.08, random.Random(3),
-            total_transactions=quota,
+        specs.append(
+            coherence_trial(
+                topology, config, 0.08,
+                max_cycles=scale.app_max_cycles,
+                total_transactions=quota,
+            )
         )
-        sim = Simulation(topology, config, traffic)
-        stats = sim.run(scale.app_max_cycles)
-        rows.append(
-            {
-                "ejection_depth": depth,
-                "runtime": stats.cycles,
-                "finished": traffic.done(),
-                "latency": stats.avg_latency,
-            }
-        )
-    return rows
+    results = harness.run(specs, label="sensitivity:ejection_depth")
+    return [
+        {
+            "ejection_depth": depth,
+            "runtime": res["runtime"],
+            "finished": res["finished"],
+            "latency": res["avg_latency"],
+        }
+        for depth, res in zip(depths, results)
+    ]
 
 
 def mshr_sensitivity(
     mshr_options: Sequence[int] = (2, 4, 8, 16),
     scale: Optional[Scale] = None,
     mesh_width: int = 4,
+    harness: Optional[Harness] = None,
 ) -> List[Dict]:
     """Offered protocol load scales with MSHRs; runtime should improve."""
     scale = scale if scale is not None else current_scale()
+    harness = harness if harness is not None else get_default_harness()
     topology = make_mesh(mesh_width, mesh_width)
-    rows = []
     quota = scale.app_transactions_per_node * topology.num_nodes
+    specs = []
     for mshrs in mshr_options:
         config = SimConfig(
             scheme=Scheme.DRAIN,
             network=NetworkConfig(num_vns=1, vcs_per_vn=2),
             drain=DrainConfig(epoch=min(scale.epoch, 1024)),
+            protocol=ProtocolConfig(mshrs_per_node=mshrs),
+            seed=3,
         )
-        traffic = CoherenceTraffic(
-            topology.num_nodes,
-            ProtocolConfig(mshrs_per_node=mshrs),
-            0.5,  # MSHR-bound regime: issue attempts far exceed capacity
-            random.Random(3),
-            total_transactions=quota,
+        specs.append(
+            coherence_trial(
+                topology, config,
+                0.5,  # MSHR-bound regime: issue attempts far exceed capacity
+                max_cycles=scale.app_max_cycles,
+                total_transactions=quota,
+            )
         )
-        sim = Simulation(topology, config, traffic)
-        stats = sim.run(scale.app_max_cycles)
-        rows.append(
-            {
-                "mshrs": mshrs,
-                "runtime": stats.cycles,
-                "finished": traffic.done(),
-                "in_flight_peak_bound": mshrs * topology.num_nodes,
-            }
-        )
-    return rows
+    results = harness.run(specs, label="sensitivity:mshrs")
+    return [
+        {
+            "mshrs": mshrs,
+            "runtime": res["runtime"],
+            "finished": res["finished"],
+            "in_flight_peak_bound": mshrs * topology.num_nodes,
+        }
+        for mshrs, res in zip(mshr_options, results)
+    ]
 
 
 def packet_size_sensitivity(
     sizes: Sequence[int] = (1, 2, 4, 8),
     scale: Optional[Scale] = None,
     mesh_width: int = 8,
+    harness: Optional[Harness] = None,
 ) -> List[Dict]:
     """Latency/throughput vs packet serialisation length (flits)."""
     scale = scale if scale is not None else current_scale()
+    harness = harness if harness is not None else get_default_harness()
     topology = make_mesh(mesh_width, mesh_width)
-    rows = []
-    for size in sizes:
-        sim = _drain_sim(
+    specs = [
+        _drain_trial(
             topology, scale, rate=0.04, vcs_per_vn=2, packet_size_flits=size
         )
-        rows.append(
-            {
-                "packet_flits": size,
-                "latency": sim.stats.avg_latency,
-                "throughput": sim.throughput(),
-                "pre_drain_extensions":
-                    sim.drain_controller.pre_drain_extensions,
-            }
-        )
-    return rows
+        for size in sizes
+    ]
+    results = harness.run(specs, label="sensitivity:packet_size")
+    return [
+        {
+            "packet_flits": size,
+            "latency": res["avg_latency"],
+            "throughput": res["throughput"],
+            "pre_drain_extensions": res["pre_drain_extensions"],
+        }
+        for size, res in zip(sizes, results)
+    ]
 
 
-def run(scale: Optional[Scale] = None) -> List[Dict]:
+def run(scale: Optional[Scale] = None, harness: Optional[Harness] = None) -> List[Dict]:
     """All sensitivity rows, tagged by study."""
     scale = scale if scale is not None else current_scale()
     rows: List[Dict] = []
@@ -178,7 +193,7 @@ def run(scale: Optional[Scale] = None) -> List[Dict]:
         ("mshrs", mshr_sensitivity),
         ("packet_size", packet_size_sensitivity),
     ):
-        for row in fn(scale=scale):
+        for row in fn(scale=scale, harness=harness):
             row["study"] = study
             rows.append(row)
     return rows

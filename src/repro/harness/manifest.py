@@ -1,0 +1,123 @@
+"""Run manifests: a JSON audit trail next to every generated artefact.
+
+A reproduction result is only as good as the record of how it was made.
+Whenever the CLI regenerates an artefact it writes ``<name>.manifest.json``
+alongside the rows, capturing:
+
+- the git revision of the tree (dirty state flagged),
+- the :class:`~repro.experiments.common.Scale` actually used,
+- harness shape (worker count, cache hits/misses, cache location),
+- one entry per trial: spec digest, runner, cached or executed, and the
+  wall-clock seconds spent simulating it.
+
+The manifest lets a reader answer "which seeds, which code, how long, how
+much was reused from cache" without rerunning anything — and re-running
+with the same manifest inputs reproduces the artefact bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .pool import Harness
+
+__all__ = ["RunManifest", "build_manifest", "write_manifest", "git_revision"]
+
+MANIFEST_FORMAT = 1
+
+
+def git_revision(repo_dir: Optional[Union[str, Path]] = None) -> str:
+    """Short git revision of *repo_dir* (defaults to this package's repo).
+
+    Appends ``-dirty`` when the working tree has local modifications;
+    returns ``"unknown"`` outside a git checkout or without git installed.
+    """
+    cwd = Path(repo_dir) if repo_dir is not None else Path(__file__).resolve().parent
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if rev.returncode != 0:
+            return "unknown"
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        dirty = "-dirty" if status.returncode == 0 and status.stdout.strip() else ""
+        return rev.stdout.strip() + dirty
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to audit (and exactly rerun) one artefact."""
+
+    name: str
+    created: str  # ISO-8601 UTC
+    git_rev: str
+    workers: int
+    cache_dir: Optional[str]
+    cache_hits: int
+    cache_misses: int
+    trials: List[Dict[str, Any]]
+    scale: Optional[Dict[str, Any]] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+    format: int = MANIFEST_FORMAT
+
+    @property
+    def total_trial_seconds(self) -> float:
+        return sum(t.get("elapsed", 0.0) for t in self.trials if not t.get("cached"))
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["num_trials"] = len(self.trials)
+        out["total_trial_seconds"] = self.total_trial_seconds
+        return out
+
+
+def build_manifest(
+    name: str,
+    harness: Harness,
+    scale: Optional[Any] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> RunManifest:
+    """Snapshot *harness* bookkeeping into a manifest for artefact *name*."""
+    scale_dict = None
+    if scale is not None:
+        scale_dict = dataclasses.asdict(scale)
+        # JSON has no tuples; normalise for stable round-trips.
+        scale_dict = {
+            k: list(v) if isinstance(v, tuple) else v
+            for k, v in scale_dict.items()
+        }
+    return RunManifest(
+        name=name,
+        created=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        git_rev=git_revision(),
+        workers=harness.workers,
+        cache_dir=str(harness.cache.root) if harness.cache is not None else None,
+        cache_hits=harness.cache_hits,
+        cache_misses=harness.cache_misses,
+        trials=[r.as_dict() for r in harness.records],
+        scale=scale_dict,
+        extra=dict(extra) if extra else {},
+    )
+
+
+def write_manifest(
+    manifest: RunManifest, directory: Union[str, Path]
+) -> Path:
+    """Write ``<name>.manifest.json`` under *directory*; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{manifest.name}.manifest.json"
+    path.write_text(json.dumps(manifest.as_dict(), indent=2, sort_keys=True) + "\n")
+    return path

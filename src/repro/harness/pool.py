@@ -1,0 +1,192 @@
+"""Parallel trial execution with deterministic, order-stable results.
+
+:class:`Harness` is the single entry point the experiment modules use to
+run their sweeps. It takes a batch of :class:`~repro.harness.trials.
+TrialSpec` objects and returns one result dict per spec **in submission
+order**, regardless of how many worker processes executed them or in what
+order they completed — so aggregation code downstream is bitwise
+independent of the worker count, and ``workers=1`` output is the
+reference that ``workers=N`` must (and does, see the determinism suite)
+reproduce exactly.
+
+Work distribution is plain ``multiprocessing.Pool.map`` with chunksize 1:
+trials are coarse (whole simulations, milliseconds to minutes each), so
+scheduling overhead is negligible and per-trial dispatch gives the best
+load balance across heterogeneous trial lengths. Each spec carries its own
+seeds (derived via :func:`repro.core.rng.derive_seed`, which is stable
+across processes), so workers need no shared RNG state.
+
+A :class:`~repro.harness.cache.ResultCache` can be attached; cached trials
+are served without touching the pool, fresh results are written back from
+the parent process (single writer, no cross-process races).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache
+from .trials import TrialSpec, execute_trial
+
+__all__ = [
+    "Harness",
+    "TrialRecord",
+    "run_trials",
+    "get_default_harness",
+    "set_default_harness",
+]
+
+
+@dataclass
+class TrialRecord:
+    """Bookkeeping for one executed (or cache-served) trial."""
+
+    digest: str
+    runner: str
+    cached: bool
+    elapsed: float  # seconds of simulation work (0 for definitionless hits)
+    label: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "digest": self.digest,
+            "runner": self.runner,
+            "cached": self.cached,
+            "elapsed": self.elapsed,
+            "label": self.label,
+        }
+
+
+def _execute_payload(payload: Tuple[str, Dict[str, Any]]) -> Tuple[Dict[str, Any], float]:
+    """Worker entry point: run one trial, return (result, wall seconds)."""
+    spec = TrialSpec(payload[0], payload[1])
+    start = time.perf_counter()
+    result = execute_trial(spec)
+    return result, time.perf_counter() - start
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork (Windows, some macOS setups)
+        return multiprocessing.get_context("spawn")
+
+
+class Harness:
+    """Fan trial batches out over worker processes, results in order."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = cache
+        self.records: List[TrialRecord] = []
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        specs: Sequence[TrialSpec],
+        label: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Execute *specs*; return their results in submission order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        digests = [spec.digest() for spec in specs]
+        results: List[Optional[Dict[str, Any]]] = [None] * len(specs)
+        records: List[Optional[TrialRecord]] = [None] * len(specs)
+
+        pending: List[int] = []
+        for i, (spec, digest) in enumerate(zip(specs, digests)):
+            payload = self.cache.get(digest) if self.cache is not None else None
+            if payload is not None:
+                self.cache_hits += 1
+                results[i] = payload["result"]
+                records[i] = TrialRecord(
+                    digest, spec.runner, True, payload.get("elapsed", 0.0), label
+                )
+            else:
+                self.cache_misses += 1
+                pending.append(i)
+
+        if pending:
+            payloads = [(specs[i].runner, dict(specs[i].params)) for i in pending]
+            if self.workers > 1 and len(pending) > 1:
+                with _mp_context().Pool(min(self.workers, len(pending))) as pool:
+                    outcomes = pool.map(_execute_payload, payloads, chunksize=1)
+            else:
+                outcomes = [_execute_payload(p) for p in payloads]
+            for i, (result, elapsed) in zip(pending, outcomes):
+                results[i] = result
+                records[i] = TrialRecord(
+                    digests[i], specs[i].runner, False, elapsed, label
+                )
+                if self.cache is not None:
+                    self.cache.put(
+                        digests[i],
+                        {
+                            "spec": json.loads(specs[i].canonical()),
+                            "result": result,
+                            "elapsed": elapsed,
+                        },
+                    )
+
+        self.records.extend(r for r in records if r is not None)
+        return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------
+    @property
+    def trials_executed(self) -> int:
+        return sum(1 for r in self.records if not r.cached)
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total wall time spent inside simulations (sum over trials)."""
+        return sum(r.elapsed for r in self.records if not r.cached)
+
+
+def run_trials(
+    specs: Sequence[TrialSpec],
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[Dict[str, Any]]:
+    """One-shot convenience wrapper around :meth:`Harness.run`."""
+    return Harness(workers=workers, cache=cache).run(specs)
+
+
+# ----------------------------------------------------------------------
+# Process-wide default harness (used when experiments get harness=None)
+# ----------------------------------------------------------------------
+_default_harness: Optional[Harness] = None
+
+
+def get_default_harness() -> Harness:
+    """The process-wide harness: ``REPRO_WORKERS`` workers, and an on-disk
+    cache only when ``REPRO_CACHE_DIR`` is set (so test runs and library
+    callers never write to the user's cache unless they opted in)."""
+    global _default_harness
+    if _default_harness is None:
+        cache = None
+        if os.environ.get("REPRO_CACHE_DIR") and not os.environ.get("REPRO_NO_CACHE"):
+            cache = ResultCache()
+        _default_harness = Harness(cache=cache)
+    return _default_harness
+
+
+def set_default_harness(harness: Optional[Harness]) -> None:
+    """Install (or with None, reset) the process-wide default harness."""
+    global _default_harness
+    _default_harness = harness

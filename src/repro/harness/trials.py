@@ -1,0 +1,337 @@
+"""Trial specifications: declarative, picklable, digestible units of work.
+
+The parallel harness (:mod:`repro.harness.pool`) must ship work to
+``multiprocessing`` workers and memoize finished work on disk. Both needs
+rule out closures over live simulator objects; instead a trial is a plain
+:class:`TrialSpec` — a runner name registered in :data:`RUNNERS` plus a
+JSON-able parameter mapping. The canonical JSON encoding of a spec doubles
+as its cache identity (see :meth:`TrialSpec.digest`).
+
+Three runners cover every sweep in the experiment suite:
+
+- ``synthetic`` — open-loop synthetic traffic (Figures 10/11/14, the
+  injection-rate sweeps, the VC/packet-size sensitivity studies);
+- ``workload`` — a surrogate application profile run to completion or to a
+  deadlock verdict (Figures 3/12/13/15);
+- ``coherence`` — raw coherence-protocol traffic with explicit knobs (the
+  ejection-depth and MSHR sensitivity studies).
+
+Every runner reconstructs its full simulation from the parameters alone,
+so a trial executes identically inline, in a worker process, or replayed
+from a cold start — the determinism suite pins this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..core.config import SimConfig
+from ..core.configio import config_from_dict, config_to_dict
+from ..core.metrics import NetworkStats
+from ..core.rng import derive_seed
+from ..core.simulator import Simulation
+from ..topology.graph import Topology
+from ..traffic.synthetic import SyntheticTraffic, pattern_by_name
+from ..traffic.workloads import WorkloadProfile, make_workload_traffic
+
+__all__ = [
+    "TrialSpec",
+    "RUNNERS",
+    "register_runner",
+    "execute_trial",
+    "topology_to_spec",
+    "topology_from_spec",
+    "synthetic_trial",
+    "workload_trial",
+    "coherence_trial",
+]
+
+#: Bump to invalidate every cached result when trial semantics change.
+TRIAL_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Topology (de)serialisation
+# ----------------------------------------------------------------------
+def topology_to_spec(topology: Topology) -> Dict[str, Any]:
+    """Canonical JSON-able description of a topology (exact, order-stable)."""
+    spec: Dict[str, Any] = {
+        "name": topology.name,
+        "num_nodes": topology.num_nodes,
+        "edges": [list(e) for e in topology.bidirectional_links()],
+    }
+    if topology.coordinates is not None:
+        spec["coordinates"] = {
+            str(node): list(xy) for node, xy in sorted(topology.coordinates.items())
+        }
+    return spec
+
+
+def topology_from_spec(spec: Mapping[str, Any]) -> Topology:
+    """Rebuild the exact :class:`Topology` described by *spec*."""
+    coordinates = None
+    if spec.get("coordinates") is not None:
+        coordinates = {
+            int(node): tuple(xy) for node, xy in spec["coordinates"].items()
+        }
+    return Topology(
+        spec["num_nodes"],
+        [tuple(edge) for edge in spec["edges"]],
+        name=spec.get("name", "custom"),
+        coordinates=coordinates,
+    )
+
+
+# ----------------------------------------------------------------------
+# Trial specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent unit of simulation work.
+
+    ``runner`` names a function in :data:`RUNNERS`; ``params`` must contain
+    only JSON-able values (numbers, strings, bools, lists, dicts) so the
+    spec can be pickled to workers and digested for the cache.
+    """
+
+    runner: str
+    params: Mapping[str, Any]
+
+    def canonical(self) -> str:
+        """Canonical JSON encoding — the cache identity of this trial."""
+        return json.dumps(
+            {
+                "format": TRIAL_FORMAT_VERSION,
+                "runner": self.runner,
+                "params": self.params,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def digest(self) -> str:
+        """Content digest of the spec (hex BLAKE2b-128)."""
+        return hashlib.blake2b(
+            self.canonical().encode("utf-8"), digest_size=16
+        ).hexdigest()
+
+
+RUNNERS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {}
+
+
+def register_runner(
+    name: str,
+) -> Callable[[Callable[[Mapping[str, Any]], Dict[str, Any]]], Callable]:
+    """Register a trial runner under *name* (decorator)."""
+
+    def deco(fn: Callable[[Mapping[str, Any]], Dict[str, Any]]) -> Callable:
+        if name in RUNNERS:
+            raise ValueError(f"runner {name!r} already registered")
+        RUNNERS[name] = fn
+        return fn
+
+    return deco
+
+
+def execute_trial(spec: TrialSpec) -> Dict[str, Any]:
+    """Run one trial to completion and return its JSON-able result dict."""
+    try:
+        runner = RUNNERS[spec.runner]
+    except KeyError:
+        raise ValueError(
+            f"unknown trial runner {spec.runner!r}; "
+            f"registered: {sorted(RUNNERS)}"
+        ) from None
+    return runner(spec.params)
+
+
+# ----------------------------------------------------------------------
+# Result extraction
+# ----------------------------------------------------------------------
+def _summarise(sim: Simulation) -> Dict[str, Any]:
+    """Flatten the headline metrics of a finished simulation."""
+    stats: NetworkStats = sim.stats
+    out: Dict[str, Any] = dict(stats.as_dict())
+    out["throughput"] = sim.throughput()
+    out["p99_latency"] = (
+        stats.latency.percentile(99.0) if stats.latency.samples else 0.0
+    )
+    out["drained_packets"] = stats.drained_packets
+    out["full_drains"] = stats.full_drains
+    out["spins_performed"] = stats.spins_performed
+    out["measured_cycles"] = stats.measured_cycles
+    out["pre_drain_extensions"] = (
+        sim.drain_controller.pre_drain_extensions
+        if sim.drain_controller is not None
+        else 0
+    )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Builders + runners
+# ----------------------------------------------------------------------
+def synthetic_trial(
+    topology: Topology,
+    config: SimConfig,
+    rate: float,
+    cycles: int,
+    warmup: int,
+    pattern: str = "uniform_random",
+    mesh_width: Optional[int] = None,
+    traffic_seed: Optional[int] = None,
+) -> TrialSpec:
+    """Spec for one open-loop synthetic-traffic run.
+
+    When *traffic_seed* is omitted the injector stream is derived from the
+    config seed via :func:`repro.core.rng.derive_seed`, so child streams
+    are stable across processes and interpreter restarts.
+    """
+    if traffic_seed is None:
+        traffic_seed = derive_seed(config.seed, "traffic", pattern, rate)
+    return TrialSpec(
+        "synthetic",
+        {
+            "topology": topology_to_spec(topology),
+            "config": config_to_dict(config),
+            "pattern": pattern,
+            "rate": rate,
+            "mesh_width": mesh_width,
+            "traffic_seed": traffic_seed,
+            "cycles": cycles,
+            "warmup": warmup,
+        },
+    )
+
+
+@register_runner("synthetic")
+def _run_synthetic(params: Mapping[str, Any]) -> Dict[str, Any]:
+    topology = topology_from_spec(params["topology"])
+    config = config_from_dict(params["config"])
+    traffic = SyntheticTraffic(
+        pattern_by_name(params["pattern"], topology.num_nodes,
+                        params.get("mesh_width")),
+        params["rate"],
+        random.Random(params["traffic_seed"]),
+    )
+    sim = Simulation(topology, config, traffic)
+    sim.run(params["cycles"], warmup=params["warmup"])
+    out = _summarise(sim)
+    out["rate"] = params["rate"]
+    out["ejected"] = sim.stats.packets_ejected
+    return out
+
+
+def workload_trial(
+    topology: Topology,
+    config: SimConfig,
+    workload: WorkloadProfile,
+    max_cycles: int,
+    total_transactions: Optional[int] = None,
+    mesh_width: Optional[int] = None,
+    intensity_scale: float = 1.0,
+    halt_on_deadlock: bool = False,
+    traffic_seed: Optional[int] = None,
+) -> TrialSpec:
+    """Spec for one surrogate-application run (Figures 3/12/13/15)."""
+    if traffic_seed is None:
+        traffic_seed = derive_seed(config.seed, "workload", workload.name)
+    return TrialSpec(
+        "workload",
+        {
+            "topology": topology_to_spec(topology),
+            "config": config_to_dict(config),
+            "workload": dataclasses.asdict(workload),
+            "max_cycles": max_cycles,
+            "total_transactions": total_transactions,
+            "mesh_width": mesh_width,
+            "intensity_scale": intensity_scale,
+            "halt_on_deadlock": halt_on_deadlock,
+            "traffic_seed": traffic_seed,
+        },
+    )
+
+
+@register_runner("workload")
+def _run_workload(params: Mapping[str, Any]) -> Dict[str, Any]:
+    topology = topology_from_spec(params["topology"])
+    config = config_from_dict(params["config"])
+    workload = WorkloadProfile(**params["workload"])
+    traffic = make_workload_traffic(
+        workload,
+        topology.num_nodes,
+        random.Random(params["traffic_seed"]),
+        protocol=config.protocol,
+        total_transactions=params.get("total_transactions"),
+        mesh_width=params.get("mesh_width"),
+        intensity_scale=params.get("intensity_scale", 1.0),
+    )
+    sim = Simulation(
+        topology, config, traffic,
+        halt_on_deadlock=params.get("halt_on_deadlock", False),
+    )
+    sim.run(params["max_cycles"])
+    out = _summarise(sim)
+    out["workload"] = workload.name
+    out["runtime"] = sim.stats.cycles
+    out["completed"] = traffic.completed
+    out["finished"] = traffic.done()
+    out["deadlocked"] = sim.deadlocked
+    return out
+
+
+def coherence_trial(
+    topology: Topology,
+    config: SimConfig,
+    issue_probability: float,
+    max_cycles: int,
+    total_transactions: Optional[int] = None,
+    locality: float = 0.0,
+    mesh_width: Optional[int] = None,
+    traffic_seed: Optional[int] = None,
+) -> TrialSpec:
+    """Spec for a raw coherence-protocol run with explicit traffic knobs."""
+    if traffic_seed is None:
+        traffic_seed = derive_seed(config.seed, "coherence", issue_probability)
+    return TrialSpec(
+        "coherence",
+        {
+            "topology": topology_to_spec(topology),
+            "config": config_to_dict(config),
+            "issue_probability": issue_probability,
+            "max_cycles": max_cycles,
+            "total_transactions": total_transactions,
+            "locality": locality,
+            "mesh_width": mesh_width,
+            "traffic_seed": traffic_seed,
+        },
+    )
+
+
+@register_runner("coherence")
+def _run_coherence(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from ..protocol.coherence import CoherenceTraffic
+
+    topology = topology_from_spec(params["topology"])
+    config = config_from_dict(params["config"])
+    traffic = CoherenceTraffic(
+        topology.num_nodes,
+        config.protocol,
+        params["issue_probability"],
+        random.Random(params["traffic_seed"]),
+        total_transactions=params.get("total_transactions"),
+        locality=params.get("locality", 0.0),
+        mesh_width=params.get("mesh_width"),
+    )
+    sim = Simulation(topology, config, traffic)
+    sim.run(params["max_cycles"])
+    out = _summarise(sim)
+    out["runtime"] = sim.stats.cycles
+    out["completed"] = traffic.completed
+    out["finished"] = traffic.done()
+    return out

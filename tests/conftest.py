@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import random
+from pathlib import Path
 
 import pytest
 
@@ -10,6 +12,68 @@ from repro.core.config import DrainConfig, NetworkConfig, Scheme, SimConfig
 from repro.experiments.common import Scale
 from repro.topology.irregular import inject_link_faults
 from repro.topology.mesh import make_mesh
+
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json snapshots from the current outputs "
+        "instead of comparing against them",
+    )
+
+
+def _golden_diff(name, expected, actual):
+    """Human-readable per-key diff between a snapshot and a fresh result."""
+    lines = [f"golden snapshot mismatch for {name!r}:"]
+    for key in sorted(set(expected) | set(actual)):
+        if key not in expected:
+            lines.append(f"  + {key}: {actual[key]!r} (not in snapshot)")
+        elif key not in actual:
+            lines.append(f"  - {key}: {expected[key]!r} (missing from result)")
+        elif expected[key] != actual[key]:
+            lines.append(
+                f"  ~ {key}: snapshot {expected[key]!r} != actual {actual[key]!r}"
+            )
+    lines.append(
+        "If the change is intentional, refresh with: "
+        "PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden"
+    )
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def golden_check(request):
+    """Compare a JSON-able dict against ``tests/golden/<name>.json``.
+
+    With ``--update-golden`` the snapshot is (re)written instead and the
+    test passes; without it, a missing snapshot is a failure that tells
+    the developer how to generate one.
+    """
+    update = request.config.getoption("--update-golden")
+
+    def check(name, actual):
+        actual = json.loads(json.dumps(actual))  # normalise to JSON types
+        path = GOLDEN_DIR / f"{name}.json"
+        if update:
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"no golden snapshot at {path}; generate it with "
+                "PYTHONPATH=src python -m pytest tests/test_golden.py "
+                "--update-golden"
+            )
+        expected = json.loads(path.read_text())
+        if expected != actual:
+            pytest.fail(_golden_diff(name, expected, actual))
+
+    return check
 
 
 @pytest.fixture

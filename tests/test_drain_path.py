@@ -123,6 +123,59 @@ class TestHawickJamesDrainPath:
             hawick_james_drain_path(topo, max_circuits=1)
 
 
+def _sweep_cases():
+    """~20 seeded faulty topologies across mesh/torus/ring shapes.
+
+    Sizes stay at or below a 4x4 mesh so the exhaustive Hawick-James
+    circuit enumeration finishes quickly.
+    """
+    grid = [
+        ("mesh3x3", lambda: make_mesh(3, 3), (0, 1, 2)),
+        ("mesh4x4", lambda: make_mesh(4, 4), (0, 2, 3)),
+        ("mesh3x4", lambda: make_mesh(3, 4), (1, 2)),
+        ("torus3x3", lambda: make_torus(3, 3), (0, 2, 4)),
+        ("ring6", lambda: make_ring(6), (0, 1)),
+        ("ring8", lambda: make_ring(8), (0, 1)),
+    ]
+    cases = []
+    for name, builder, fault_counts in grid:
+        for faults in fault_counts:
+            seed = 1000 + 13 * len(cases)
+            cases.append(
+                pytest.param(builder, faults, seed, id=f"{name}-f{faults}-s{seed}")
+            )
+    return cases
+
+
+class TestEngineAgreementSweep:
+    """Both drain-path engines must solve the same random faulty fabrics.
+
+    For every seeded topology each engine must emit a single elementary
+    cycle covering every unidirectional link, and the two engines must
+    agree exactly on which links that is (i.e. on link coverage — the
+    visit order may legitimately differ).
+    """
+
+    @pytest.mark.parametrize("builder,faults,seed", _sweep_cases())
+    def test_both_engines_valid_and_agree(self, builder, faults, seed):
+        base = builder()
+        topology = (
+            inject_link_faults(base, faults, random.Random(seed))
+            if faults else base
+        )
+        euler = euler_drain_path(topology)
+        hawick = hawick_james_drain_path(topology)
+        assert_valid_drain_path(euler, topology)
+        assert_valid_drain_path(hawick, topology)
+        assert set(euler.links) == set(hawick.links) == set(
+            topology.unidirectional_links()
+        )
+        # Single elementary cycle, not a union of sub-cycles: walking the
+        # sequence from the start must traverse every link before closing.
+        assert len(euler.links) == len(set(euler.links))
+        assert len(hawick.links) == len(set(hawick.links))
+
+
 class TestFindDrainPath:
     def test_default_is_euler(self):
         topo = make_mesh(3, 3)

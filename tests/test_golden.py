@@ -1,0 +1,51 @@
+"""Golden-snapshot regression tests.
+
+Each snapshot in ``tests/golden/`` pins the full summary-statistics dict
+of one fixed-seed simulation. The simulator is bit-deterministic (see
+``test_determinism.py``), so any diff here is a real behavioural change —
+either a bug or an intentional modelling change that must be acknowledged
+by regenerating the snapshots with ``--update-golden``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import Scheme
+from repro.experiments.common import Scale, synthetic_trial_for
+from repro.harness import execute_trial
+from repro.topology.mesh import make_mesh
+
+# Deliberately small but non-trivial: long enough for DRAIN epochs and
+# SPIN timeouts to fire at least once.
+GOLD_SCALE = Scale(
+    warmup=200,
+    measure=800,
+    fault_patterns=1,
+    sweep_rates=(0.06,),
+    epoch=256,
+    spin_timeout=64,
+)
+GOLD_RATE = 0.06
+GOLD_SEED = 7
+
+
+def golden_trial(scheme: Scheme):
+    return synthetic_trial_for(
+        make_mesh(4, 4), scheme, GOLD_RATE, GOLD_SCALE, mesh_width=4,
+        seed=GOLD_SEED,
+    )
+
+
+@pytest.mark.parametrize("scheme", list(Scheme), ids=lambda s: s.value)
+def test_scheme_summary_matches_snapshot(scheme, golden_check):
+    result = execute_trial(golden_trial(scheme))
+    golden_check(f"synthetic_{scheme.value}", result)
+
+
+def test_snapshots_have_signal(golden_check):
+    """Guard against snapshotting a degenerate (empty) simulation."""
+    result = execute_trial(golden_trial(Scheme.DRAIN))
+    assert result["ejected"] > 0
+    assert result["throughput"] > 0
+    assert result["avg_latency"] > 0
