@@ -11,6 +11,9 @@ Subcommands:
 - ``repro-drain sweep`` — a generic parallel injection-rate sweep over
   schemes × seeds × rates on any topology;
 - ``repro-drain run`` — a single simulation with explicit knobs;
+- ``repro-drain faults`` — inject a seed-derived runtime fault schedule
+  into one simulation and write the recovery curve (windowed throughput /
+  latency / loss around each fault) as a JSON artefact;
 - ``repro-drain drainpath`` — run the offline algorithm on a topology and
   print the resulting drain path / turn-table summary.
 
@@ -33,9 +36,17 @@ from .core.config import DrainConfig, NetworkConfig, Scheme, SimConfig
 from .core.simulator import Simulation
 from .drain.path import find_drain_path
 from .drain.turntable import build_turn_tables
-from .harness import Harness, ResultCache, build_manifest, write_manifest
+from .faults import FAULT_POLICIES, ONSET_DISTRIBUTIONS, FaultSchedule
+from .harness import (
+    Harness,
+    ResultCache,
+    build_manifest,
+    fault_recovery_trial,
+    write_manifest,
+)
 from .experiments import (
     common,
+    fault_recovery,
     fig1_fig2_scenarios,
     fig3_deadlock_likelihood,
     fig4_vnet_power,
@@ -79,6 +90,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig14": fig14_epoch.run,
     "fig15": fig15_tail.run,
     "section6": heterogeneous.run,
+    "fault-recovery": fault_recovery.run,
     "lifetime": lifetime.run,
     "path-quality": path_quality.run,
     "sensitivity": sensitivity.run,
@@ -139,7 +151,8 @@ def _build_harness(args: argparse.Namespace) -> Harness:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)  # None -> default location
-    return Harness(workers=args.workers, cache=cache)
+    return Harness(workers=args.workers, cache=cache,
+                   timeout=getattr(args, "timeout", None))
 
 
 def _write_artefact(
@@ -306,6 +319,80 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """One fault-injected run; prints and optionally writes the curve."""
+    topo = parse_topology(args.topology, seed=args.seed)
+    scale = common.Scale.full() if args.scale == "full" else common.Scale.ci()
+    harness = _build_harness(args)
+    cycles = args.cycles if args.cycles else scale.total_cycles * 2
+    window = (cycles * 2 // 5, cycles * 3 // 5)
+    schedule = FaultSchedule.generate(
+        topo, args.num_faults, seed=args.seed, window=window,
+        onset=args.onset, transient_fraction=args.transient_fraction,
+        router_fraction=args.router_fraction,
+    )
+    mesh_width = None
+    if args.topology.startswith("mesh:"):
+        mesh_width = int(args.topology.split(":")[1].split("x")[0])
+    config = common.scheme_config(Scheme.DRAIN, scale, seed=args.seed)
+    rate = args.rate if args.rate is not None else scale.low_load_rate
+    curve_window = max(50, scale.measure // 8)
+    spec = fault_recovery_trial(
+        topo, config, rate, cycles=cycles, warmup=scale.warmup,
+        schedule=schedule, policy=args.policy, curve_window=curve_window,
+        mesh_width=mesh_width,
+    )
+    (res,) = harness.run([spec], label="faults")
+    faults = res["faults"]
+
+    print(f"topology:        {topo.name} ({topo.num_nodes} nodes, "
+          f"{topo.num_edges} bidirectional links)")
+    print(f"schedule:        {len(schedule.events)} events "
+          f"(seed {args.seed}, onset {args.onset}), policy {args.policy}")
+    for event in schedule.events:
+        life = (f"transient until {event.repair_cycle}" if event.transient
+                else "permanent")
+        print(f"  cycle {event.cycle:>6}: {event.kind} {event.target} "
+              f"({life})")
+    print(f"faults applied:  {faults['faults_applied']} "
+          f"({faults['faults_revived']} revived)")
+    print(f"packets lost:    {faults['packets_lost']} "
+          f"({faults['packets_retransmitted']} retransmitted, "
+          f"{faults['packets_unroutable']} unroutable)")
+    print(f"drain recovery:  {faults['drain_recomputes']} recomputes; "
+          f"{res.get('drain_covered_links', 0)} of {res['links_alive']} "
+          f"surviving links covered by "
+          f"{res.get('drain_cycles_installed', 0)} cycle(s)")
+    print(f"unreachable:     {faults['unreachable_pairs']} node pairs")
+    curve = faults["recovery_curve"]
+    if curve:
+        columns = ["cycle", "throughput", "avg_latency", "ejected", "lost",
+                   "retransmitted", "in_network", "faults_active"]
+        print(common.format_table(curve, columns=columns,
+                                  title="recovery curve"))
+    if args.out_dir:
+        directory = Path(args.out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        name = f"faults_{topo.name}_{args.policy}".replace(":", "_")
+        payload = {
+            "topology": topo.name,
+            "policy": args.policy,
+            "rate": rate,
+            "schedule": schedule.as_dict(),
+            "summary": {k: v for k, v in faults.items()
+                        if k != "recovery_curve"},
+            "curve": curve,
+        }
+        (directory / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        manifest = build_manifest(name, harness, scale=scale)
+        path = write_manifest(manifest, directory)
+        print(f"wrote {directory / (name + '.json')} and {path}",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_drainpath(args: argparse.Namespace) -> int:
     topo = parse_topology(args.topology, faults=args.faults, seed=args.seed)
     path = find_drain_path(topo, method=args.method)
@@ -343,6 +430,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--out-dir", default=None,
                        help="write rows JSON + run manifest to this directory "
                             "(e.g. benchmarks/results)")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-trial wall-clock timeout in seconds; timed "
+                            "out trials are retried on a fresh worker")
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artefact")
     p_exp.add_argument("name")
@@ -388,6 +478,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--report", action="store_true",
                        help="print a full run report (gem5 stats.txt style)")
 
+    p_faults = sub.add_parser(
+        "faults", help="fault-injected run with online drain recovery"
+    )
+    p_faults.add_argument("--topology", default="mesh:4x4")
+    p_faults.add_argument("--num-faults", type=int, default=1,
+                          help="number of fault events to schedule")
+    p_faults.add_argument("--policy", choices=FAULT_POLICIES,
+                          default="drop_retransmit",
+                          help="what happens to flits in flight on a dead "
+                               "link")
+    p_faults.add_argument("--onset", choices=ONSET_DISTRIBUTIONS,
+                          default="uniform",
+                          help="distribution of fault onset cycles")
+    p_faults.add_argument("--transient-fraction", type=float, default=0.0,
+                          help="fraction of faults that heal after a while")
+    p_faults.add_argument("--router-fraction", type=float, default=0.0,
+                          help="fraction of faults that kill a whole router")
+    p_faults.add_argument("--rate", type=float, default=None,
+                          help="injection rate (default: the scale's low "
+                               "load rate)")
+    p_faults.add_argument("--cycles", type=int, default=0,
+                          help="total cycles (default: 2x the scale's run)")
+    p_faults.add_argument("--seed", type=int, default=1)
+    p_faults.add_argument("--scale", choices=("ci", "full"), default="ci")
+    add_harness_flags(p_faults)
+
     p_path = sub.add_parser("drainpath", help="compute a drain path")
     p_path.add_argument("--topology", default="mesh:8x8")
     p_path.add_argument("--faults", type=int, default=0)
@@ -406,9 +522,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
         "run": _cmd_run,
+        "faults": _cmd_faults,
         "drainpath": _cmd_drainpath,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ValueError as exc:
+        # Bad user input (malformed topology spec, unsatisfiable fault
+        # schedule, invalid config value): one line, non-zero exit — not a
+        # traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -137,6 +137,15 @@ class NetworkStats:
     network_latency: SampleStats = field(default_factory=SampleStats)
     hops: RunningStats = field(default_factory=RunningStats)
     transactions_completed: int = 0
+    # Runtime fault injection (repro.faults). Kept out of as_dict() so the
+    # fault-free experiment artefacts and their golden snapshots are
+    # untouched; the fault runner reports them explicitly.
+    faults_applied: int = 0  # fault events that took effect
+    faults_revived: int = 0  # transient faults that healed
+    packets_lost: int = 0  # dropped by a fault (wire, router, no route)
+    packets_retransmitted: int = 0  # re-offered at the source NI
+    packets_unroutable: int = 0  # swallowed at injection: dst unreachable/dead
+    drain_recomputes: int = 0  # online drain-path reconstructions
 
     def throughput(self, num_nodes: int) -> float:
         """Received packets per node per cycle over the measured window."""

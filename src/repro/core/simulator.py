@@ -115,9 +115,18 @@ class Simulation:
         halt_on_deadlock: bool = False,
         flow_control: str = "vct",
         flits_per_packet: int = 4,
+        fault_schedule=None,
+        fault_policy: str = "drop_retransmit",
+        fault_curve_window: int = 0,
+        fault_max_circuits: int = 512,
     ) -> None:
         if flow_control not in ("vct", "wormhole"):
             raise ValueError("flow_control must be 'vct' or 'wormhole'")
+        if fault_schedule is not None and flow_control == "wormhole":
+            raise ValueError(
+                "runtime fault injection models the virtual cut-through "
+                "fabric only (no wormhole fault hooks)"
+            )
         self.topology = topology
         self.config = config
         self.traffic = traffic
@@ -207,6 +216,18 @@ class Simulation:
                 config.deadlock_grace,
             )
 
+        self.fault_injector = None
+        if fault_schedule is not None:
+            from ..faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(
+                self,
+                fault_schedule,
+                policy=fault_policy,
+                curve_window=fault_curve_window,
+                max_circuits=fault_max_circuits,
+            )
+
     # ------------------------------------------------------------------
     @property
     def deadlocked(self) -> bool:
@@ -216,6 +237,11 @@ class Simulation:
     def step(self) -> None:
         """Advance the whole system by one cycle."""
         fabric = self.fabric
+        if self.fault_injector is not None:
+            # Faults strike at the cycle boundary, before traffic or any
+            # controller sees the cycle, so all of them observe a
+            # consistent post-fault network.
+            self.fault_injector.step()
         self.traffic.generate(fabric, fabric.cycle)
         if self.drain_controller is not None:
             self.drain_controller.step()

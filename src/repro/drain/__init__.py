@@ -10,6 +10,7 @@ from .controller import DrainController
 from .hawick_james import count_circuits, elementary_circuits, find_circuit
 from .path import (
     DrainPath,
+    DrainPathError,
     euler_drain_path,
     find_drain_path,
     hawick_james_drain_path,
@@ -18,6 +19,7 @@ from .turntable import TurnTable, build_turn_tables
 
 __all__ = [
     "DrainPath",
+    "DrainPathError",
     "find_drain_path",
     "euler_drain_path",
     "hawick_james_drain_path",

@@ -19,11 +19,18 @@ during the drain eject immediately if their ejection queue has space.
 Once every ``full_drain_period`` windows a **full drain** rotates the whole
 path length, guaranteeing every escape packet visits every router and can
 eject — the livelock/starvation backstop of Section III-D3.
+
+Runtime faults (``repro.faults``) generalise the single boot-time path to a
+*set* of covering cycles: when a permanent link death splits the surviving
+dependency graph, the online recovery engine re-covers each connected
+component with its own cycle and installs them all via
+:meth:`DrainController.install_paths` — each drain window then rotates
+every cycle, preserving the permutation property per cycle.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..core.config import DrainConfig
 from ..network.fabric import Fabric
@@ -46,14 +53,11 @@ class DrainController:
         self.fabric = fabric
         self.config = config
         topology: Topology = fabric.index.topology
-        self.path = path if path is not None else find_drain_path(topology)
-        if self.path.topology is not topology:
+        if path is None:
+            path = find_drain_path(topology)
+        elif path.topology is not topology:
             # Paths may be precomputed; they must describe the same topology.
-            self.path.validate()
-        self.turn_tables = build_turn_tables(self.path)
-        index = fabric.index
-        #: drain path as port ids, in cycle order.
-        self.path_ports: List[int] = [index.link_id[l] for l in self.path.links]
+            path.validate()
         self._countdown = config.epoch
         self._state = "normal"  # normal | pre_drain | drain | full_drain
         self._window_left = 0
@@ -62,6 +66,66 @@ class DrainController:
         #: Cycles the pre-drain freeze had to stretch beyond its window to
         #: let serialised (multi-flit) transfers land.
         self.pre_drain_extensions = 0
+        #: Online drain-path reinstallations (fault recovery events).
+        self.reinstalls = 0
+        self.install_paths([path])
+
+    # ------------------------------------------------------------------
+    def install_paths(self, paths: Sequence[DrainPath]) -> None:
+        """Install a covering cycle set (boot configuration or recovery).
+
+        Each path must be a valid elementary covering cycle over its own
+        (sub-)topology; together they must not share links. The first call
+        happens at construction; later calls model the reconfiguration
+        broadcast after the online recovery engine reruns the offline
+        algorithm on the survivor graph. An empty set is legal only there:
+        it means faults left no drainable links, and drain windows become
+        no-ops.
+        """
+        index = self.fabric.index
+        self.paths: List[DrainPath] = list(paths)
+        self.turn_tables: Dict[int, TurnTable] = {}
+        for path in self.paths:
+            for router, table in build_turn_tables(path).items():
+                # Component sub-topologies carry the full router numbering;
+                # routers outside the component get empty tables which must
+                # not clobber another component's real table.
+                if len(table) or router not in self.turn_tables:
+                    self.turn_tables[router] = table
+        #: Per-cycle drain-path port lists, each in cycle order.
+        self.path_port_cycles: List[List[int]] = [
+            [index.link_id[l] for l in path.links] for path in self.paths
+        ]
+        seen = set()
+        for ports in self.path_port_cycles:
+            for port in ports:
+                if port in seen:
+                    raise ValueError("drain cycles share a link")
+                seen.add(port)
+        if self._state != "normal":
+            # Reinstalling mid-window (a fault landed inside a drain): the
+            # remaining rotations use the new cycles; clamp the full-drain
+            # budget to the new longest cycle.
+            self._full_steps_left = min(
+                self._full_steps_left, self.max_cycle_length()
+            )
+
+    @property
+    def path(self) -> DrainPath:
+        """The primary drain path (the only one outside fault recovery)."""
+        return self.paths[0]
+
+    @property
+    def path_ports(self) -> List[int]:
+        """All drain-path ports, cycle by cycle (flat view for callers)."""
+        return [p for ports in self.path_port_cycles for p in ports]
+
+    def total_path_length(self) -> int:
+        """Links covered across all installed cycles."""
+        return sum(len(ports) for ports in self.path_port_cycles)
+
+    def max_cycle_length(self) -> int:
+        return max((len(ports) for ports in self.path_port_cycles), default=0)
 
     # ------------------------------------------------------------------
     @property
@@ -124,7 +188,7 @@ class DrainController:
         self.fabric.stats.drain_windows += 1
         if self._windows_done % self.config.full_drain_period == 0:
             self._state = "full_drain"
-            self._full_steps_left = len(self.path_ports)
+            self._full_steps_left = self.max_cycle_length()
             self.fabric.stats.full_drains += 1
         else:
             self._state = "drain"
@@ -136,10 +200,12 @@ class DrainController:
         self.fabric.frozen = False
 
     def _rotate_once(self) -> None:
-        """Move every escape-VC packet one hop along the drain path.
+        """Move every escape-VC packet one hop along its drain cycle.
 
         Delegates to the fabric, which knows its own buffer organisation
         (whole packets under virtual cut-through, flit FIFOs with packet
-        truncation under wormhole — Section III-C3).
+        truncation under wormhole — Section III-C3). After a fault split
+        the survivor graph, each component's cycle rotates independently.
         """
-        self.fabric.drain_rotate_escape(self.path_ports)
+        for ports in self.path_port_cycles:
+            self.fabric.drain_rotate_escape(ports)

@@ -29,7 +29,36 @@ from ..topology.dependency import DependencyGraph, build_dependency_graph
 from ..topology.graph import Link, Topology
 from .hawick_james import find_circuit
 
-__all__ = ["DrainPath", "find_drain_path", "euler_drain_path", "hawick_james_drain_path"]
+__all__ = [
+    "DrainPath",
+    "DrainPathError",
+    "find_drain_path",
+    "euler_drain_path",
+    "hawick_james_drain_path",
+]
+
+
+class DrainPathError(ValueError):
+    """A drain path could not be built or fails its coverage invariants.
+
+    Carries the offending link sets so callers — in particular the online
+    recovery engine, which must degrade gracefully when a fault leaves the
+    dependency graph partially coverable — can inspect *which* links are
+    uncovered instead of parsing an assertion message.
+
+    ``missing``: links of the topology the path fails to cover.
+    ``extra``: links on the path that do not exist in the topology.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        missing: Sequence[Link] = (),
+        extra: Sequence[Link] = (),
+    ) -> None:
+        super().__init__(message)
+        self.missing: List[Link] = sorted(missing)
+        self.extra: List[Link] = sorted(extra)
 
 
 class DrainPath:
@@ -78,22 +107,24 @@ class DrainPath:
         """
         expected = set(self.topology.unidirectional_links())
         if not self.links:
-            raise ValueError("drain path is empty")
+            raise DrainPathError("drain path is empty", missing=expected)
         seen = set(self.links)
         if len(seen) != len(self.links):
-            raise ValueError("drain path visits some link more than once")
+            raise DrainPathError("drain path visits some link more than once")
         if seen != expected:
             missing = expected - seen
             extra = seen - expected
-            raise ValueError(
+            raise DrainPathError(
                 f"drain path does not cover the topology exactly: "
-                f"missing={sorted(map(str, missing))[:4]} extra={sorted(map(str, extra))[:4]}"
+                f"missing={sorted(map(str, missing))[:4]} extra={sorted(map(str, extra))[:4]}",
+                missing=missing,
+                extra=extra,
             )
         n = len(self.links)
         for i, link in enumerate(self.links):
             nxt = self.links[(i + 1) % n]
             if link.dst != nxt.src:
-                raise ValueError(
+                raise DrainPathError(
                     f"drain path breaks at position {i}: {link} does not "
                     f"connect to {nxt}"
                 )
@@ -103,16 +134,27 @@ class DrainPath:
 
 
 def euler_drain_path(
-    topology: Topology, rng: Optional[random.Random] = None
+    topology: Topology,
+    rng: Optional[random.Random] = None,
+    start: Optional[int] = None,
 ) -> DrainPath:
     """Construct a drain path via Hierholzer's Eulerian-circuit algorithm.
 
     Runs in time linear in the number of links. *rng*, when given, shuffles
     edge exploration order so different (equally valid) drain paths can be
     sampled — useful for the path-shape ablation benchmarks.
+
+    *start*, when given, roots the circuit at that router and skips the
+    global connectivity precondition: the online recovery engine uses this
+    to cover one connected component of a survivor graph whose other
+    routers are isolated (their links died). Coverage is still enforced by
+    :meth:`DrainPath.validate` — an edge set not fully reachable from
+    *start* raises :class:`DrainPathError` listing the uncovered links.
     """
-    if not topology.is_connected():
-        raise ValueError("drain path requires a connected topology")
+    if start is None:
+        if not topology.is_connected():
+            raise DrainPathError("drain path requires a connected topology")
+        start = 0
     # Outgoing-arc stacks per router; each unidirectional link used once.
     out_arcs: Dict[int, List[int]] = {
         n: list(topology.neighbors(n)) for n in topology.nodes
@@ -120,7 +162,6 @@ def euler_drain_path(
     if rng is not None:
         for arcs in out_arcs.values():
             rng.shuffle(arcs)
-    start = 0
     circuit: List[int] = []  # router sequence, built back-to-front
     stack: List[int] = [start]
     while stack:
@@ -153,9 +194,10 @@ def hawick_james_drain_path(
         max_circuits=max_circuits,
     )
     if circuit is None:
-        raise ValueError(
+        raise DrainPathError(
             f"no covering circuit found for {topology.name} "
-            f"(searched up to {max_circuits} circuits)"
+            f"(searched up to {max_circuits} circuits)",
+            missing=graph.links,
         )
     links = [graph.links[i] for i in circuit]
     return DrainPath(topology, links)

@@ -1,0 +1,142 @@
+"""Runtime fault recovery study: DRAIN under mid-run link/router death.
+
+The lifetime study (:mod:`repro.experiments.lifetime`) measures steady
+states *between* failures; this experiment measures the transition —
+what happens to latency and delivered throughput in the cycles around a
+fault, how many packets are lost under each in-flight policy, and whether
+the online recovery engine re-covers every surviving link.
+
+Per (policy, fault count) combination a 4x4 (CI) or 8x8 (full-scale) mesh
+runs open-loop traffic while a seed-derived permanent fault schedule
+strikes mid-run. The recovery curve (windowed counter deltas from the
+injector) yields:
+
+- ``pre_throughput`` — mean windowed throughput before the first fault
+  (excluding warm-up windows);
+- ``post_throughput`` — mean windowed throughput over the settled tail
+  after the last fault;
+- ``recovery_ratio`` — post/pre; the headline acceptance number is
+  >= 0.9 for a single link fault on the mesh;
+- ``covered_all_surviving`` — every post-fault drain recompute covered
+  exactly the surviving links (the DRAIN correctness invariant);
+- loss/retransmission/recompute counters.
+
+Rows keep the full recovery curve under the ``curve`` key so the CLI
+``faults`` subcommand can write a plot-ready artefact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.config import Scheme
+from ..faults.schedule import FaultSchedule
+from ..harness import Harness, fault_recovery_trial, get_default_harness
+from ..topology.mesh import make_mesh
+from .common import Scale, current_scale, scheme_config
+
+__all__ = ["fault_recovery_study", "run"]
+
+#: Windows immediately after the last fault excluded from the settled
+#: tail (the drain/backoff transient the experiment is measuring).
+SETTLE_WINDOWS = 2
+
+
+def _curve_ratio(curve: List[Dict], fault_cycles: List[int],
+                 warmup: int) -> Dict[str, float]:
+    """Pre/post fault throughput from a recovery curve."""
+    first = min(fault_cycles)
+    last = max(fault_cycles)
+    if not curve:
+        return {"pre_throughput": 0.0, "post_throughput": 0.0,
+                "recovery_ratio": 0.0}
+    window = curve[0]["cycle"]  # sampling period == first sample cycle
+    pre = [
+        s["throughput"] for s in curve
+        if warmup < s["cycle"] <= first
+    ]
+    post = [
+        s["throughput"] for s in curve
+        if s["cycle"] > last + SETTLE_WINDOWS * window
+    ]
+    pre_tp = sum(pre) / len(pre) if pre else 0.0
+    post_tp = sum(post) / len(post) if post else 0.0
+    return {
+        "pre_throughput": pre_tp,
+        "post_throughput": post_tp,
+        "recovery_ratio": (post_tp / pre_tp) if pre_tp else 0.0,
+    }
+
+
+def fault_recovery_study(
+    scale: Optional[Scale] = None,
+    mesh_width: Optional[int] = None,
+    fault_counts: (tuple) = (1, 3),
+    policies: (tuple) = ("drop_retransmit", "source_reroute"),
+    seed: int = 33,
+    harness: Optional[Harness] = None,
+) -> List[Dict]:
+    """Recovery metrics per (policy, permanent fault count) combination."""
+    scale = scale if scale is not None else current_scale()
+    if mesh_width is None:
+        mesh_width = 8 if scale.measure >= 10_000 else 4
+    topo = make_mesh(mesh_width, mesh_width)
+    harness = harness if harness is not None else get_default_harness()
+
+    # Faults strike in the middle third of the measured window, leaving a
+    # settled stretch on both sides for the pre/post comparison.
+    cycles = scale.total_cycles * 2
+    window = (cycles * 2 // 5, cycles * 3 // 5)
+    curve_window = max(50, scale.measure // 8)
+
+    combos = []
+    specs = []
+    for policy in policies:
+        for num_faults in fault_counts:
+            schedule = FaultSchedule.generate(
+                topo, num_faults, seed=seed, window=window,
+                onset="uniform", ensure_connected=True,
+            )
+            config = scheme_config(Scheme.DRAIN, scale, seed=seed)
+            specs.append(
+                fault_recovery_trial(
+                    topo, config, scale.low_load_rate,
+                    cycles=cycles, warmup=scale.warmup,
+                    schedule=schedule, policy=policy,
+                    curve_window=curve_window,
+                    mesh_width=mesh_width,
+                )
+            )
+            combos.append((policy, num_faults, schedule))
+
+    results = harness.run(specs, label="fault-recovery")
+    rows: List[Dict] = []
+    for (policy, num_faults, schedule), res in zip(combos, results):
+        faults = res["faults"]
+        curve = faults["recovery_curve"]
+        fault_cycles = [e.cycle for e in schedule.events]
+        row: Dict = {
+            "policy": policy,
+            "faults": num_faults,
+            "packets_lost": faults["packets_lost"],
+            "packets_retransmitted": faults["packets_retransmitted"],
+            "packets_unroutable": faults["packets_unroutable"],
+            "drain_recomputes": faults["drain_recomputes"],
+            "unreachable_pairs": faults["unreachable_pairs"],
+            "covered_all_surviving": all(
+                r["covered_links"] == r["links_alive"]
+                for r in faults["recomputes"]
+            ),
+            "links_alive": res["links_alive"],
+            "drain_covered_links": res.get("drain_covered_links", 0),
+            "avg_latency": res["avg_latency"],
+        }
+        row.update(_curve_ratio(curve, fault_cycles, scale.warmup))
+        row["recovered"] = row["recovery_ratio"] >= 0.9
+        row["curve"] = curve  # full recovery curve for the artefact
+        rows.append(row)
+    return rows
+
+
+def run(scale: Optional[Scale] = None, harness: Optional[Harness] = None) -> List[Dict]:
+    return fault_recovery_study(scale=scale, harness=harness)

@@ -1,43 +1,87 @@
 """Wear-out lifetime study (Section II-D's motivating use case).
 
-Links fail one by one over the chip's lifetime. After every failure the
-offline algorithm reruns (new drain path, new routing tables — exactly the
-reconfiguration story of Section III-B) and the network keeps serving
-traffic. We measure latency and delivered throughput after each failure,
-for DRAIN (fully adaptive, one VN) and for the up*/down* proactive
-alternative that fault-tolerant NoCs conventionally fall back to
-(Ariadne/uDIREC-style, Section VII).
+Links fail one by one over the chip's lifetime. Earlier revisions of this
+experiment rebuilt a fresh simulator per failure count — an *offline*
+reconfiguration story. It now ages a **single continuous simulation** per
+scheme: a seed-derived permanent fault schedule kills one link at each era
+boundary while traffic keeps flowing, and the runtime recovery machinery
+(:mod:`repro.faults`) recomputes routing tables and a covering drain cycle
+set in place. What the study reports is therefore the *surviving* network's
+steady state, measured in the back half of each era after the recovery
+transient has settled.
 
-Expected shape: both degrade as bandwidth disappears, but DRAIN tracks the
-(minimal-routing) topology quality while up*/down* adds its detour factor
-on top.
+Eras are ``scale.warmup + scale.measure`` cycles long; failure *k* strikes
+at the first cycle of era *k*, so the warm-up stretch of each era absorbs
+the drain/retransmit transient. Metrics are windowed counter deltas over
+the measure stretch — the one continuous simulation never resets its
+statistics.
+
+Expected shape: both schemes degrade as bandwidth disappears, but DRAIN
+tracks the (minimal-routing) topology quality while up*/down* adds its
+detour factor on top.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.config import Scheme
-from ..drain.path import find_drain_path
+from ..core.rng import derive_seed
+from ..core.simulator import Simulation
+from ..faults.schedule import FaultEvent, FaultSchedule
 from ..topology.graph import Topology
 from ..topology.mesh import make_mesh
-from .common import Scale, current_scale, run_synthetic
+from ..traffic.synthetic import SyntheticTraffic, pattern_by_name
+from .common import Scale, current_scale, scheme_config
 
 __all__ = ["lifetime_study", "run"]
 
 
-def _age_topology(topology: Topology, rng: random.Random) -> Optional[Topology]:
-    """Kill one more random link, keeping the network connected."""
-    candidates = topology.bidirectional_links()
-    rng.shuffle(candidates)
-    for a, b in candidates:
-        aged = topology.copy()
-        aged.remove_edge(a, b)
-        if aged.is_connected():
-            aged.name = f"{topology.name}+f"
-            return aged
-    return None
+def _aging_schedule(topology: Topology, total_failures: int, era: int,
+                    seed: int) -> FaultSchedule:
+    """One permanent link death at each era boundary, connectivity kept.
+
+    Edges are drawn on a survivor copy so every pick is non-critical with
+    respect to the faults already scheduled; the sequence may stop short of
+    *total_failures* if the survivor runs out of removable edges.
+    """
+    rng = random.Random(seed)
+    survivor = topology.copy()
+    events = []
+    for k in range(1, total_failures + 1):
+        candidates = survivor.bidirectional_links()
+        rng.shuffle(candidates)
+        picked: Optional[Tuple[int, int]] = None
+        for a, b in candidates:
+            if not survivor.is_critical_edge(a, b):
+                picked = (a, b)
+                break
+        if picked is None:
+            break
+        survivor.remove_edge(*picked)
+        events.append(FaultEvent(cycle=k * era, kind="link", target=picked))
+    return FaultSchedule(events=tuple(events), seed=seed, onset="uniform")
+
+
+def _window_snapshot(sim: Simulation) -> Dict[str, float]:
+    stats = sim.stats
+    return {
+        "ejected": stats.packets_ejected,
+        "lat_count": stats.latency.count,
+        "lat_sum": stats.latency.mean * stats.latency.count,
+    }
+
+
+def _window_deltas(sim: Simulation, snap: Dict[str, float]) -> Dict[str, float]:
+    now = _window_snapshot(sim)
+    delivered = now["ejected"] - snap["ejected"]
+    count = now["lat_count"] - snap["lat_count"]
+    lat_sum = now["lat_sum"] - snap["lat_sum"]
+    return {
+        "delivered": delivered,
+        "latency": (lat_sum / count) if count else 0.0,
+    }
 
 
 def lifetime_study(
@@ -49,34 +93,52 @@ def lifetime_study(
 ) -> List[Dict]:
     """Latency/throughput vs accumulated link failures, DRAIN vs up*/down*."""
     scale = scale if scale is not None else current_scale()
-    rng = random.Random(seed)
     topo = make_mesh(mesh_width, mesh_width)
+    era = scale.warmup + scale.measure
+    schedule = _aging_schedule(topo, total_failures, era, seed)
+
+    sims: Dict[str, Simulation] = {}
+    for scheme, key in ((Scheme.DRAIN, "drain"), (Scheme.UPDOWN, "updown")):
+        config = scheme_config(scheme, scale, seed=seed)
+        traffic = SyntheticTraffic(
+            pattern_by_name("uniform_random", topo.num_nodes, mesh_width),
+            scale.low_load_rate,
+            random.Random(derive_seed(seed, "lifetime", key)),
+        )
+        sims[key] = Simulation(
+            topo, config, traffic,
+            fault_schedule=schedule, fault_policy="drop_retransmit",
+        )
+
+    initial_edges = topo.num_edges
     rows: List[Dict] = []
-    for failed in range(total_failures + 1):
-        if failed and failed % measure_every == 0 or failed == 0:
-            # Rerun the offline algorithm on the surviving topology: its
-            # success is itself part of the result.
-            path = find_drain_path(topo)
-            row: Dict = {
-                "failures": failed,
-                "links_left": topo.num_edges,
-                "drain_path_length": len(path),
-                "diameter": topo.diameter(),
-            }
-            for scheme, key in ((Scheme.DRAIN, "drain"),
-                                (Scheme.UPDOWN, "updown")):
-                sim = run_synthetic(
-                    topo, scheme, scale.low_load_rate, scale,
-                    mesh_width=mesh_width, seed=seed + failed,
-                )
-                row[f"{key}_latency"] = sim.stats.avg_latency
-                row[f"{key}_delivered"] = sim.stats.packets_ejected
-            rows.append(row)
-        if failed < total_failures:
-            aged = _age_topology(topo, rng)
-            if aged is None:
-                break
-            topo = aged
+    eras = len(schedule.events) + 1
+    for failed in range(eras):
+        windows: Dict[str, Dict[str, float]] = {}
+        for key, sim in sims.items():
+            # Failure `failed` strikes on this era's first cycle; the
+            # warm-up stretch absorbs the recovery transient.
+            for _ in range(scale.warmup):
+                sim.step()
+            snap = _window_snapshot(sim)
+            for _ in range(scale.measure):
+                sim.step()
+            windows[key] = _window_deltas(sim, snap)
+        if failed != 0 and failed % measure_every != 0:
+            continue
+        drain_sim = sims["drain"]
+        row: Dict = {
+            "failures": failed,
+            "links_left": initial_edges - failed,
+            "drain_path_length": drain_sim.drain_controller.total_path_length(),
+            "drain_cycles": len(drain_sim.drain_controller.paths),
+            "diameter": drain_sim.index.surviving_topology().diameter(),
+            "packets_lost": drain_sim.stats.packets_lost,
+        }
+        for key in ("drain", "updown"):
+            row[f"{key}_latency"] = windows[key]["latency"]
+            row[f"{key}_delivered"] = windows[key]["delivered"]
+        rows.append(row)
     return rows
 
 

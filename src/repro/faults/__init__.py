@@ -1,0 +1,30 @@
+"""Runtime fault injection and online DRAIN recovery.
+
+Three layers, from declarative to operational:
+
+- :mod:`repro.faults.schedule` — deterministic seed-derived fault
+  schedules (what dies, when, transient vs permanent);
+- :mod:`repro.faults.recovery` — re-covering the surviving dependency
+  graph with drain cycles (Hawick-James under a budget, Eulerian
+  fallback);
+- :mod:`repro.faults.injector` — the per-cycle engine that applies
+  events to a live simulation, resolves in-flight packets by policy and
+  records degradation/recovery metrics.
+
+Attach a schedule to a :class:`~repro.core.simulator.Simulation` via its
+``fault_schedule`` argument; the simulator owns the injector.
+"""
+
+from .injector import FAULT_POLICIES, FaultInjector
+from .recovery import RecoveryResult, recover_drain_paths
+from .schedule import ONSET_DISTRIBUTIONS, FaultEvent, FaultSchedule
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "FAULT_POLICIES",
+    "ONSET_DISTRIBUTIONS",
+    "RecoveryResult",
+    "recover_drain_paths",
+]

@@ -1,0 +1,344 @@
+"""Runtime fault application, in-flight packet policy, and degradation metrics.
+
+:class:`FaultInjector` sits between a :class:`~repro.faults.schedule.
+FaultSchedule` and a live simulation. Each cycle it:
+
+1. heals transient faults whose repair time arrived,
+2. applies fault events due this cycle — marking links/routers dead on the
+   :class:`~repro.network.index.FabricIndex`, resolving packets caught on
+   dying wires per the configured policy, rebuilding the routing tables
+   over the survivor graph, and (under DRAIN) recomputing a covering
+   drain-cycle set via :mod:`repro.faults.recovery` and installing it on
+   the controller,
+3. re-offers retransmittable packets whose backoff expired, and
+4. samples the recovery curve (windowed deltas of the run counters).
+
+Two in-flight policies model the ends of the recovery-cost spectrum:
+
+- ``drop_retransmit`` — flits on a dying wire are lost; the packet is
+  re-offered at its source NI after an exponential backoff (end-to-end
+  retransmission, the usual fault-tolerant-NoC assumption);
+- ``source_reroute`` — the serialised transfer is cancelled and the packet
+  stays in the upstream buffer it never released, to be re-routed over the
+  survivor graph (link-level retry, zero loss on wire faults).
+
+Everything here is cycle-counted and seed-free: no wall-clock value ever
+reaches a result dict, so fault trials are bit-reproducible across worker
+counts and machines — which the determinism suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..drain.path import DrainPathError
+from ..router.packet import Packet
+from .recovery import recover_drain_paths
+from .schedule import FaultEvent, FaultSchedule
+
+__all__ = ["FaultInjector", "FAULT_POLICIES"]
+
+FAULT_POLICIES = ("drop_retransmit", "source_reroute")
+
+
+class FaultInjector:
+    """Apply a fault schedule to a running simulation, cycle by cycle."""
+
+    def __init__(
+        self,
+        sim,
+        schedule: FaultSchedule,
+        policy: str = "drop_retransmit",
+        curve_window: int = 0,
+        max_circuits: int = 512,
+        backoff_base: int = 8,
+        backoff_max: int = 1024,
+        max_retransmit_attempts: int = 8,
+    ) -> None:
+        if policy not in FAULT_POLICIES:
+            raise ValueError(
+                f"unknown fault policy {policy!r}; choose from {FAULT_POLICIES}"
+            )
+        if curve_window < 0:
+            raise ValueError("curve_window must be >= 0")
+        self.sim = sim
+        self.schedule = schedule
+        self.policy = policy
+        self.curve_window = curve_window
+        self.max_circuits = max_circuits
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.max_retransmit_attempts = max_retransmit_attempts
+
+        self._events: List[FaultEvent] = list(schedule.events)
+        self._next_event = 0
+        #: Active fault multiplicity per target (overlapping transients).
+        self._edge_faults: Dict[Tuple[int, int], int] = {}
+        self._router_faults: Dict[int, int] = {}
+        #: Pending transient repairs as (repair_cycle, seq, event).
+        self._repairs: List[Tuple[int, int, FaultEvent]] = []
+        #: Retransmission queue as (ready_cycle, seq, attempt, packet).
+        self._retransmit: List[Tuple[int, int, int, Packet]] = []
+        self._seq = 0
+
+        #: Per-recompute metadata (cycle, engine, components, ...).
+        self.recomputes: List[Dict[str, Any]] = []
+        #: Recovery-curve samples (windowed counter deltas).
+        self.curve: List[Dict[str, Any]] = []
+        self._curve_prev: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def events_remaining(self) -> int:
+        return len(self._events) - self._next_event
+
+    def _dead_sets(self) -> Tuple[Set[int], Set[int]]:
+        """Current dead unidirectional-link ids and router ids."""
+        index = self.sim.index
+        dead_routers = {r for r, n in self._router_faults.items() if n > 0}
+        dead_links: Set[int] = set()
+        for (a, b), n in self._edge_faults.items():
+            if n > 0:
+                for link in index.links:
+                    if {link.src, link.dst} == {a, b}:
+                        dead_links.add(index.link_id[link])
+        for r in dead_routers:
+            dead_links.update(index.in_links[r])
+            dead_links.update(index.out_links[r])
+        return dead_links, dead_routers
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Run the fault pipeline for the current fabric cycle."""
+        cycle = self.sim.fabric.cycle
+        changed = False
+        changed |= self._apply_repairs(cycle)
+        dropped = self._apply_events(cycle)
+        if dropped is not None:
+            changed = True
+        if changed:
+            self._reconfigure(cycle, dropped or [])
+        self._pump_retransmits(cycle)
+        if self.curve_window and cycle and cycle % self.curve_window == 0:
+            self._sample_curve(cycle)
+
+    # ------------------------------------------------------------------
+    def _apply_repairs(self, cycle: int) -> bool:
+        due = [r for r in self._repairs if r[0] <= cycle]
+        if not due:
+            return False
+        self._repairs = [r for r in self._repairs if r[0] > cycle]
+        stats = self.sim.stats
+        for _, _, event in sorted(due):
+            if event.kind == "link":
+                key = tuple(sorted(event.target))
+                self._edge_faults[key] = self._edge_faults.get(key, 1) - 1
+            else:
+                r = event.target[0]
+                self._router_faults[r] = self._router_faults.get(r, 1) - 1
+            stats.faults_revived += 1
+        return True
+
+    def _apply_events(self, cycle: int) -> Optional[List[Packet]]:
+        """Apply all events due at *cycle*; None when nothing was due.
+
+        Returns the packets dropped by the fabric-side fault primitives so
+        :meth:`_reconfigure` can route them into loss/retransmit handling.
+        """
+        events = self._events
+        due: List[FaultEvent] = []
+        while self._next_event < len(events) and events[self._next_event].cycle <= cycle:
+            due.append(events[self._next_event])
+            self._next_event += 1
+        if not due:
+            return None
+        fabric = self.sim.fabric
+        stats = self.sim.stats
+        index = self.sim.index
+        dropped: List[Packet] = []
+        newly_dead_links: Set[int] = set()
+        newly_dead_routers: Set[int] = set()
+        for event in due:
+            stats.faults_applied += 1
+            if event.transient:
+                self._seq += 1
+                self._repairs.append((event.repair_cycle, self._seq, event))
+            if event.kind == "link":
+                key = tuple(sorted(event.target))
+                prev = self._edge_faults.get(key, 0)
+                self._edge_faults[key] = prev + 1
+                if prev == 0:
+                    a, b = key
+                    for link_obj in (index.links[i] for i in index.out_links[a]):
+                        if link_obj.dst == b:
+                            newly_dead_links.add(index.link_id[link_obj])
+                            newly_dead_links.add(
+                                index.link_reverse[index.link_id[link_obj]]
+                            )
+            else:
+                r = event.target[0]
+                prev = self._router_faults.get(r, 0)
+                self._router_faults[r] = prev + 1
+                if prev == 0:
+                    newly_dead_routers.add(r)
+                    newly_dead_links.update(index.in_links[r])
+                    newly_dead_links.update(index.out_links[r])
+        if newly_dead_links:
+            dropped.extend(
+                fabric.fault_cancel_transfers(
+                    newly_dead_links, drop=self.policy == "drop_retransmit"
+                )
+            )
+        for r in sorted(newly_dead_routers):
+            dropped.extend(fabric.fault_kill_router(r))
+        return dropped
+
+    def _reconfigure(self, cycle: int, dropped: List[Packet]) -> None:
+        """Rebuild distances, routing and the drain cover after a change."""
+        sim = self.sim
+        index = sim.index
+        fabric = sim.fabric
+        stats = sim.stats
+        dead_links, dead_routers = self._dead_sets()
+        index.apply_faults(dead_links, dead_routers)
+        fabric.routing.rebuild()
+        if fabric.escape_routing is not None:
+            fabric.escape_routing.rebuild()
+        dropped = list(dropped)
+        dropped.extend(fabric.fault_drop_unroutable())
+        if sim.drain_controller is not None:
+            self._recompute_drain(cycle)
+        for packet in dropped:
+            stats.packets_lost += 1
+            if (
+                self.policy == "drop_retransmit"
+                and packet.eject_cycle is None
+                and packet.src not in dead_routers
+            ):
+                self._schedule_retransmit(cycle, 0, packet)
+
+    def _recompute_drain(self, cycle: int) -> None:
+        sim = self.sim
+        try:
+            result = recover_drain_paths(sim.index, max_circuits=self.max_circuits)
+            paths = result.paths
+            meta = {
+                "engine": result.engine,
+                "engines": list(result.engines),
+                "components": result.components,
+                "covered_links": result.covered_links,
+            }
+        except DrainPathError:
+            # Faults left no drainable links at all (every router isolated):
+            # drain windows become no-ops until a transient repair restores
+            # an edge.
+            paths = []
+            meta = {"engine": "none", "engines": [], "components": 0,
+                    "covered_links": 0}
+        sim.drain_controller.install_paths(paths)
+        sim.drain_controller.reinstalls += 1
+        sim.stats.drain_recomputes += 1
+        record = {
+            "cycle": cycle,
+            "links_alive": sim.index.num_links - len(sim.index.dead_links),
+            "unreachable_pairs": sim.index.unreachable_pairs(),
+        }
+        record.update(meta)
+        self.recomputes.append(record)
+
+    # ------------------------------------------------------------------
+    def _schedule_retransmit(self, cycle: int, attempt: int, packet: Packet) -> None:
+        if attempt >= self.max_retransmit_attempts:
+            return
+        delay = min(self.backoff_max, self.backoff_base << attempt)
+        self._seq += 1
+        self._retransmit.append((cycle + delay, self._seq, attempt, packet))
+
+    def _pump_retransmits(self, cycle: int) -> None:
+        if not self._retransmit:
+            return
+        ready = sorted(r for r in self._retransmit if r[0] <= cycle)
+        if not ready:
+            return
+        self._retransmit = [r for r in self._retransmit if r[0] > cycle]
+        fabric = self.sim.fabric
+        stats = self.sim.stats
+        for _, _, attempt, packet in ready:
+            # Reset transport state; identity (pid, src, dst, gen_cycle)
+            # is preserved so end-to-end latency includes the lost attempt
+            # and the backoff — that cost is the point of the experiment.
+            packet.in_escape = False
+            packet.net_entry_cycle = None
+            packet.blocked_since = None
+            if fabric.offer_packet(packet):
+                stats.packets_retransmitted += 1
+            else:
+                # Source NI queue full: back off again, bounded.
+                self._schedule_retransmit(cycle, attempt + 1, packet)
+
+    # ------------------------------------------------------------------
+    def _sample_curve(self, cycle: int) -> None:
+        sim = self.sim
+        stats = sim.stats
+        prev = self._curve_prev
+        lat_count = stats.latency.count
+        lat_sum = stats.latency.mean * lat_count
+        window_count = lat_count - prev.get("lat_count", 0)
+        window_sum = lat_sum - prev.get("lat_sum", 0.0)
+        alive_nodes = sim.index.num_nodes - len(sim.index.dead_routers)
+        ejected = stats.packets_ejected - int(prev.get("ejected", 0))
+        sample = {
+            "cycle": cycle,
+            "ejected": ejected,
+            "injected": stats.packets_injected - int(prev.get("injected", 0)),
+            "lost": stats.packets_lost - int(prev.get("lost", 0)),
+            "retransmitted": stats.packets_retransmitted
+            - int(prev.get("retransmitted", 0)),
+            "unroutable": stats.packets_unroutable
+            - int(prev.get("unroutable", 0)),
+            "avg_latency": (window_sum / window_count) if window_count else 0.0,
+            "in_network": fabric_occupancy(sim.fabric),
+            "throughput": (
+                ejected / (alive_nodes * self.curve_window)
+                if alive_nodes else 0.0
+            ),
+            "faults_active": sum(
+                1 for n in self._edge_faults.values() if n > 0
+            ) + sum(1 for n in self._router_faults.values() if n > 0),
+        }
+        self.curve.append(sample)
+        self._curve_prev = {
+            "ejected": stats.packets_ejected,
+            "injected": stats.packets_injected,
+            "lost": stats.packets_lost,
+            "retransmitted": stats.packets_retransmitted,
+            "unroutable": stats.packets_unroutable,
+            "lat_count": lat_count,
+            "lat_sum": lat_sum,
+        }
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """JSON-able degradation/recovery summary for result dicts."""
+        stats = self.sim.stats
+        return {
+            "policy": self.policy,
+            "faults_applied": stats.faults_applied,
+            "faults_revived": stats.faults_revived,
+            "packets_lost": stats.packets_lost,
+            "packets_retransmitted": stats.packets_retransmitted,
+            "packets_unroutable": stats.packets_unroutable,
+            "drain_recomputes": stats.drain_recomputes,
+            "recomputes": list(self.recomputes),
+            "unreachable_pairs": self.sim.index.unreachable_pairs(),
+            "events_remaining": self.events_remaining,
+            "recovery_curve": list(self.curve),
+        }
+
+
+def fabric_occupancy(fabric) -> int:
+    """Packets currently buffered in the network, fabric-type agnostic."""
+    occupancy = getattr(fabric, "packets_in_network", None)
+    if occupancy is None:
+        occupancy = fabric.count_flits()
+    return occupancy

@@ -23,10 +23,13 @@ contract.
 """
 
 from .cache import ResultCache, default_cache_dir
+from .checkpoint import SweepJournal
 from .manifest import RunManifest, build_manifest, git_revision, write_manifest
 from .pool import (
     Harness,
+    TrialExecutionError,
     TrialRecord,
+    TrialTimeoutError,
     get_default_harness,
     run_trials,
     set_default_harness,
@@ -36,6 +39,7 @@ from .trials import (
     TrialSpec,
     coherence_trial,
     execute_trial,
+    fault_recovery_trial,
     register_runner,
     synthetic_trial,
     topology_from_spec,
@@ -45,8 +49,11 @@ from .trials import (
 
 __all__ = [
     "Harness",
+    "SweepJournal",
+    "TrialExecutionError",
     "TrialRecord",
     "TrialSpec",
+    "TrialTimeoutError",
     "ResultCache",
     "RunManifest",
     "RUNNERS",
@@ -54,6 +61,7 @@ __all__ = [
     "coherence_trial",
     "default_cache_dir",
     "execute_trial",
+    "fault_recovery_trial",
     "get_default_harness",
     "git_revision",
     "register_runner",

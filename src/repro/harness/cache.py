@@ -51,8 +51,10 @@ class ResultCache:
     def get(self, digest: str) -> Optional[Dict[str, Any]]:
         """Return the cached payload for *digest*, or None on a miss.
 
-        Corrupt entries (partial writes from killed runs, disk trouble)
-        are treated as misses and removed so they regenerate cleanly.
+        Corrupt entries — partial writes from killed runs, disk trouble,
+        or files that parse as JSON but are not trial payloads (no
+        ``result`` key) — are treated as misses and removed, so the trial
+        recomputes cleanly instead of poisoning an artefact downstream.
         """
         path = self.path_for(digest)
         try:
@@ -61,6 +63,8 @@ class ResultCache:
             self.misses += 1
             return None
         except (OSError, ValueError):
+            payload = None  # unreadable: fall through to removal
+        if not isinstance(payload, dict) or "result" not in payload:
             try:
                 path.unlink()
             except OSError:

@@ -1,0 +1,97 @@
+"""Append-only sweep journal: checkpoint/resume for interrupted sweeps.
+
+A :class:`SweepJournal` is a line-per-trial JSONL file recording each
+completed trial's digest and result. The harness writes an entry the
+moment a trial finishes, so a sweep killed at any point — SIGINT, OOM, a
+pulled power cord — leaves a journal whose entries are all valid except
+possibly a torn final line. On the next run the harness resolves trials
+from the journal before consulting the cache or executing, so a resumed
+sweep replays the recorded results and produces a byte-identical merged
+artefact (the determinism suite pins this).
+
+The journal complements the content-addressed cache rather than
+duplicating it: the cache is global, keyed only by trial digest, and may
+be disabled or cold; the journal is per-sweep, cheap to ship alongside an
+artefact, and readable as a progress log. Corrupt or torn lines are
+skipped on load — the affected trials simply recompute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["SweepJournal"]
+
+
+class SweepJournal:
+    """Digest-keyed JSONL checkpoint log for one sweep."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self.corrupt_lines = 0
+        self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8", errors="replace")
+        except FileNotFoundError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                # Torn tail from a killed writer, or bit rot mid-file:
+                # either way the trial recomputes, it is never trusted.
+                self.corrupt_lines += 1
+                continue
+            if (
+                isinstance(entry, dict)
+                and isinstance(entry.get("digest"), str)
+                and "result" in entry
+            ):
+                self._entries[entry["digest"]] = entry
+            else:
+                self.corrupt_lines += 1
+
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The journalled payload for *digest* (with ``result``), or None."""
+        return self._entries.get(digest)
+
+    def record(
+        self, digest: str, result: Any, elapsed: float = 0.0
+    ) -> None:
+        """Append one completed trial; flushed and fsynced immediately."""
+        entry = {"digest": digest, "result": result, "elapsed": elapsed}
+        self._entries[digest] = entry
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"SweepJournal({str(self.path)!r}, entries={len(self)})"

@@ -9,16 +9,35 @@ independent of the worker count, and ``workers=1`` output is the
 reference that ``workers=N`` must (and does, see the determinism suite)
 reproduce exactly.
 
-Work distribution is plain ``multiprocessing.Pool.map`` with chunksize 1:
-trials are coarse (whole simulations, milliseconds to minutes each), so
-scheduling overhead is negligible and per-trial dispatch gives the best
-load balance across heterogeneous trial lengths. Each spec carries its own
-seeds (derived via :func:`repro.core.rng.derive_seed`, which is stable
-across processes), so workers need no shared RNG state.
+Work distribution is a supervised worker pool rather than a fire-and-
+forget ``Pool.map``: the parent owns one pipe per worker, dispatches one
+trial at a time (trials are coarse — whole simulations — so per-trial
+dispatch gives the best load balance), and watches both the pipes and the
+clock. That supervision is what makes sweeps crash-proof:
 
-A :class:`~repro.harness.cache.ResultCache` can be attached; cached trials
-are served without touching the pool, fresh results are written back from
-the parent process (single writer, no cross-process races).
+- a worker that dies mid-trial (OOM kill, segfault in an extension,
+  ``os._exit``) is detected by its pipe hitting EOF; the trial is
+  requeued with a backoff and a fresh worker replaces the dead one,
+  instead of the sweep hanging forever on a map() that cannot complete;
+- a per-trial wall-clock ``timeout`` bounds runaway trials: the worker is
+  terminated and the trial retried (``max_retries`` times, exponential
+  ``retry_backoff``) before :class:`TrialTimeoutError` aborts the sweep;
+- deterministic in-trial exceptions are **not** retried — they would
+  recur — and surface immediately as :class:`TrialExecutionError`.
+
+Each spec carries its own seeds (derived via :func:`repro.core.rng.
+derive_seed`, stable across processes), so workers need no shared RNG
+state, and retried trials return bit-identical results — wall-clock
+timing never enters a result dict.
+
+Two persistence layers can be attached. A :class:`~repro.harness.cache.
+ResultCache` memoizes results globally by spec digest. A
+:class:`~repro.harness.checkpoint.SweepJournal` checkpoints one sweep:
+every finished trial is appended immediately, so an interrupted sweep
+(SIGINT included) resumes from the journal and produces a byte-identical
+merged artefact. Resolution order per trial: journal, then cache, then
+execute. Fresh results are written back to both from the parent process
+(single writer, no cross-process races).
 """
 
 from __future__ import annotations
@@ -27,30 +46,44 @@ import json
 import multiprocessing
 import os
 import time
+from collections import deque
 from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .cache import ResultCache
+from .checkpoint import SweepJournal
 from .trials import TrialSpec, execute_trial
 
 __all__ = [
     "Harness",
     "TrialRecord",
+    "TrialExecutionError",
+    "TrialTimeoutError",
     "run_trials",
     "get_default_harness",
     "set_default_harness",
 ]
 
 
+class TrialExecutionError(RuntimeError):
+    """A trial raised, or its worker kept dying, beyond recovery."""
+
+
+class TrialTimeoutError(TrialExecutionError):
+    """A trial exceeded the per-trial wall-clock timeout on every attempt."""
+
+
 @dataclass
 class TrialRecord:
-    """Bookkeeping for one executed (or cache-served) trial."""
+    """Bookkeeping for one executed (or cache/journal-served) trial."""
 
     digest: str
     runner: str
     cached: bool
     elapsed: float  # seconds of simulation work (0 for definitionless hits)
     label: Optional[str] = None
+    retries: int = 0  # crash/timeout requeues this trial needed
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -59,15 +92,51 @@ class TrialRecord:
             "cached": self.cached,
             "elapsed": self.elapsed,
             "label": self.label,
+            "retries": self.retries,
         }
 
 
 def _execute_payload(payload: Tuple[str, Dict[str, Any]]) -> Tuple[Dict[str, Any], float]:
-    """Worker entry point: run one trial, return (result, wall seconds)."""
+    """Inline execution: run one trial, return (result, wall seconds)."""
     spec = TrialSpec(payload[0], payload[1])
     start = time.perf_counter()
     result = execute_trial(spec)
     return result, time.perf_counter() - start
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive (task_id, runner, params), send back outcomes.
+
+    A ``None`` message is the shutdown sentinel. Exceptions are stringified
+    and shipped to the parent — the worker survives them; only crashes
+    (which close the pipe) take a worker down.
+    """
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if msg is None:
+            return
+        task_id, runner, params = msg
+        start = time.perf_counter()
+        try:
+            result = execute_trial(TrialSpec(runner, params))
+        except KeyboardInterrupt:
+            return
+        except BaseException as exc:
+            try:
+                conn.send(
+                    (task_id, "error", f"{type(exc).__name__}: {exc}",
+                     time.perf_counter() - start)
+                )
+            except (BrokenPipeError, OSError):
+                return
+            continue
+        try:
+            conn.send((task_id, "ok", result, time.perf_counter() - start))
+        except (BrokenPipeError, OSError):
+            return
 
 
 def _mp_context():
@@ -77,23 +146,68 @@ def _mp_context():
         return multiprocessing.get_context("spawn")
 
 
+class _WorkerHandle:
+    """One supervised worker process and its parent-side pipe end."""
+
+    __slots__ = ("proc", "conn", "task", "deadline")
+
+    def __init__(self, ctx) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(target=_worker_main, args=(child_conn,),
+                                daemon=True)
+        self.proc.start()
+        child_conn.close()
+        self.task: Optional[int] = None
+        self.deadline: Optional[float] = None
+
+    def shutdown(self, kill: bool = False) -> None:
+        try:
+            if not kill and self.proc.is_alive():
+                self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        if kill and self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join(timeout=5.0)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
 class Harness:
-    """Fan trial batches out over worker processes, results in order."""
+    """Fan trial batches out over supervised workers, results in order."""
 
     def __init__(
         self,
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.25,
+        journal: Optional[SweepJournal] = None,
     ) -> None:
         if workers is None:
             workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.workers = workers
         self.cache = cache
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.journal = journal
         self.records: List[TrialRecord] = []
         self.cache_hits = 0
         self.cache_misses = 0
+        self.retries_performed = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -111,7 +225,7 @@ class Harness:
 
         pending: List[int] = []
         for i, (spec, digest) in enumerate(zip(specs, digests)):
-            payload = self.cache.get(digest) if self.cache is not None else None
+            payload = self._lookup(digest)
             if payload is not None:
                 self.cache_hits += 1
                 results[i] = payload["result"]
@@ -124,28 +238,187 @@ class Harness:
 
         if pending:
             payloads = [(specs[i].runner, dict(specs[i].params)) for i in pending]
-            if self.workers > 1 and len(pending) > 1:
-                with _mp_context().Pool(min(self.workers, len(pending))) as pool:
-                    outcomes = pool.map(_execute_payload, payloads, chunksize=1)
+            if self.workers == 1 and self.timeout is None:
+                outcomes = [(*_execute_payload(p), 0) for p in payloads]
             else:
-                outcomes = [_execute_payload(p) for p in payloads]
-            for i, (result, elapsed) in zip(pending, outcomes):
+                outcomes = self._supervised_map(payloads)
+            for i, (result, elapsed, retries) in zip(pending, outcomes):
                 results[i] = result
                 records[i] = TrialRecord(
-                    digests[i], specs[i].runner, False, elapsed, label
+                    digests[i], specs[i].runner, False, elapsed, label, retries
                 )
-                if self.cache is not None:
-                    self.cache.put(
-                        digests[i],
-                        {
-                            "spec": json.loads(specs[i].canonical()),
-                            "result": result,
-                            "elapsed": elapsed,
-                        },
-                    )
+                self._store(specs[i], digests[i], result, elapsed)
 
         self.records.extend(r for r in records if r is not None)
         return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------
+    def _lookup(self, digest: str) -> Optional[Dict[str, Any]]:
+        """Resolve a finished trial: journal first, then cache."""
+        if self.journal is not None:
+            payload = self.journal.get(digest)
+            if payload is not None:
+                return payload
+        if self.cache is not None:
+            payload = self.cache.get(digest)
+            if payload is not None:
+                return payload
+        return None
+
+    def _store(
+        self, spec: TrialSpec, digest: str, result: Any, elapsed: float
+    ) -> None:
+        if self.journal is not None:
+            self.journal.record(digest, result, elapsed)
+        if self.cache is not None:
+            self.cache.put(
+                digest,
+                {
+                    "spec": json.loads(spec.canonical()),
+                    "result": result,
+                    "elapsed": elapsed,
+                },
+            )
+
+    # ------------------------------------------------------------------
+    def _supervised_map(
+        self, payloads: List[Tuple[str, Dict[str, Any]]]
+    ) -> List[Tuple[Dict[str, Any], float, int]]:
+        """Run *payloads* under supervision; (result, elapsed, retries) each."""
+        ctx = _mp_context()
+        total = len(payloads)
+        results: List[Optional[Tuple[Dict[str, Any], float, int]]] = [None] * total
+        attempts = [0] * total
+        ready: deque = deque(range(total))
+        delayed: List[Tuple[float, int]] = []  # (not-before monotonic, task)
+        workers = [_WorkerHandle(ctx) for _ in range(min(self.workers, total))]
+        completed = 0
+        try:
+            while completed < total:
+                now = time.monotonic()
+                if delayed:
+                    still: List[Tuple[float, int]] = []
+                    for not_before, task in sorted(delayed):
+                        if not_before <= now:
+                            ready.append(task)
+                        else:
+                            still.append((not_before, task))
+                    delayed = still
+
+                for worker in workers:
+                    if worker.task is None and ready:
+                        task = ready.popleft()
+                        try:
+                            worker.conn.send(
+                                (task, payloads[task][0], payloads[task][1])
+                            )
+                        except (BrokenPipeError, OSError):
+                            # Died while idle: replace it, task goes back.
+                            ready.appendleft(task)
+                            self._replace(workers, worker, ctx)
+                            continue
+                        worker.task = task
+                        worker.deadline = (
+                            now + self.timeout if self.timeout else None
+                        )
+
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    if ready or delayed:
+                        # Nothing running yet (e.g. all sends hit dead
+                        # workers, or everything is backing off): wait out
+                        # the shortest delay and loop.
+                        wake = min((nb for nb, _ in delayed), default=now)
+                        time.sleep(max(0.0, min(wake - now, 0.05)) or 0.001)
+                        continue
+                    raise TrialExecutionError(
+                        f"supervised pool wedged: {completed}/{total} trials "
+                        "done but nothing queued or running"
+                    )
+
+                wake_times = [w.deadline for w in busy if w.deadline is not None]
+                wake_times.extend(nb for nb, _ in delayed)
+                wait_for = (
+                    max(0.0, min(wake_times) - time.monotonic())
+                    if wake_times else None
+                )
+                ready_conns = mp_connection.wait(
+                    [w.conn for w in busy], timeout=wait_for
+                )
+
+                for conn in ready_conns:
+                    worker = next(w for w in workers if w.conn is conn)
+                    task = worker.task
+                    try:
+                        task_id, status, payload, elapsed = conn.recv()
+                    except (EOFError, OSError):
+                        # Crash mid-trial: requeue with backoff.
+                        self._replace(workers, worker, ctx)
+                        self._requeue(
+                            task, attempts, delayed, payloads,
+                            reason="worker crashed",
+                        )
+                        continue
+                    worker.task = None
+                    worker.deadline = None
+                    if status == "ok":
+                        results[task_id] = (payload, elapsed, attempts[task_id])
+                        completed += 1
+                    else:
+                        raise TrialExecutionError(
+                            f"trial {task_id} "
+                            f"({payloads[task_id][0]}) raised: {payload}"
+                        )
+
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    for worker in workers:
+                        if (
+                            worker.task is not None
+                            and worker.deadline is not None
+                            and now >= worker.deadline
+                        ):
+                            task = worker.task
+                            worker.shutdown(kill=True)
+                            self._replace(workers, worker, ctx, respawn_only=True)
+                            self._requeue(
+                                task, attempts, delayed, payloads,
+                                reason=f"timed out after {self.timeout:g}s",
+                                timed_out=True,
+                            )
+        finally:
+            for worker in workers:
+                worker.shutdown(kill=True)
+        return [r for r in results if r is not None]
+
+    def _replace(
+        self, workers: List[_WorkerHandle], worker: _WorkerHandle, ctx,
+        respawn_only: bool = False,
+    ) -> None:
+        """Swap a dead/killed worker for a fresh one, in place."""
+        if not respawn_only:
+            worker.shutdown(kill=True)
+        workers[workers.index(worker)] = _WorkerHandle(ctx)
+
+    def _requeue(
+        self,
+        task: int,
+        attempts: List[int],
+        delayed: List[Tuple[float, int]],
+        payloads: List[Tuple[str, Dict[str, Any]]],
+        reason: str,
+        timed_out: bool = False,
+    ) -> None:
+        attempts[task] += 1
+        self.retries_performed += 1
+        if attempts[task] > self.max_retries:
+            err = TrialTimeoutError if timed_out else TrialExecutionError
+            raise err(
+                f"trial {task} ({payloads[task][0]}) {reason}; "
+                f"gave up after {attempts[task]} attempts"
+            )
+        backoff = self.retry_backoff * (2 ** (attempts[task] - 1))
+        delayed.append((time.monotonic() + backoff, task))
 
     # ------------------------------------------------------------------
     @property
@@ -162,9 +435,10 @@ def run_trials(
     specs: Sequence[TrialSpec],
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
 ) -> List[Dict[str, Any]]:
     """One-shot convenience wrapper around :meth:`Harness.run`."""
-    return Harness(workers=workers, cache=cache).run(specs)
+    return Harness(workers=workers, cache=cache, timeout=timeout).run(specs)
 
 
 # ----------------------------------------------------------------------

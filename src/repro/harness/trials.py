@@ -7,14 +7,19 @@ rule out closures over live simulator objects; instead a trial is a plain
 JSON-able parameter mapping. The canonical JSON encoding of a spec doubles
 as its cache identity (see :meth:`TrialSpec.digest`).
 
-Three runners cover every sweep in the experiment suite:
+Four runners cover every sweep in the experiment suite:
 
 - ``synthetic`` — open-loop synthetic traffic (Figures 10/11/14, the
   injection-rate sweeps, the VC/packet-size sensitivity studies);
 - ``workload`` — a surrogate application profile run to completion or to a
   deadlock verdict (Figures 3/12/13/15);
 - ``coherence`` — raw coherence-protocol traffic with explicit knobs (the
-  ejection-depth and MSHR sensitivity studies).
+  ejection-depth and MSHR sensitivity studies);
+- ``fault_recovery`` — synthetic traffic under a runtime
+  :class:`~repro.faults.schedule.FaultSchedule`, returning the injector's
+  degradation/recovery metrics alongside the usual summary. Fault
+  parameters live under their own ``faults`` params key, so fault-free
+  trial digests are untouched by the fault subsystem's existence.
 
 Every runner reconstructs its full simulation from the parameters alone,
 so a trial executes identically inline, in a worker process, or replayed
@@ -49,6 +54,7 @@ __all__ = [
     "synthetic_trial",
     "workload_trial",
     "coherence_trial",
+    "fault_recovery_trial",
 ]
 
 #: Bump to invalidate every cached result when trial semantics change.
@@ -311,6 +317,85 @@ def coherence_trial(
             "traffic_seed": traffic_seed,
         },
     )
+
+
+def fault_recovery_trial(
+    topology: Topology,
+    config: SimConfig,
+    rate: float,
+    cycles: int,
+    warmup: int,
+    schedule,
+    policy: str = "drop_retransmit",
+    curve_window: int = 200,
+    max_circuits: int = 512,
+    pattern: str = "uniform_random",
+    mesh_width: Optional[int] = None,
+    traffic_seed: Optional[int] = None,
+) -> TrialSpec:
+    """Spec for one synthetic run under a runtime fault schedule.
+
+    *schedule* is a :class:`repro.faults.FaultSchedule` (or its dict
+    form); it is embedded in the params, so two trials with different
+    schedules — or the same schedule under a different in-flight policy —
+    digest differently and cache independently.
+    """
+    if traffic_seed is None:
+        traffic_seed = derive_seed(config.seed, "traffic", pattern, rate)
+    schedule_dict = (
+        schedule if isinstance(schedule, Mapping) else schedule.as_dict()
+    )
+    return TrialSpec(
+        "fault_recovery",
+        {
+            "topology": topology_to_spec(topology),
+            "config": config_to_dict(config),
+            "pattern": pattern,
+            "rate": rate,
+            "mesh_width": mesh_width,
+            "traffic_seed": traffic_seed,
+            "cycles": cycles,
+            "warmup": warmup,
+            "faults": {
+                "schedule": schedule_dict,
+                "policy": policy,
+                "curve_window": curve_window,
+                "max_circuits": max_circuits,
+            },
+        },
+    )
+
+
+@register_runner("fault_recovery")
+def _run_fault_recovery(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from ..faults.schedule import FaultSchedule
+
+    topology = topology_from_spec(params["topology"])
+    config = config_from_dict(params["config"])
+    traffic = SyntheticTraffic(
+        pattern_by_name(params["pattern"], topology.num_nodes,
+                        params.get("mesh_width")),
+        params["rate"],
+        random.Random(params["traffic_seed"]),
+    )
+    faults = params["faults"]
+    sim = Simulation(
+        topology, config, traffic,
+        fault_schedule=FaultSchedule.from_dict(faults["schedule"]),
+        fault_policy=faults.get("policy", "drop_retransmit"),
+        fault_curve_window=faults.get("curve_window", 200),
+        fault_max_circuits=faults.get("max_circuits", 512),
+    )
+    sim.run(params["cycles"], warmup=params["warmup"])
+    out = _summarise(sim)
+    out["rate"] = params["rate"]
+    out["ejected"] = sim.stats.packets_ejected
+    out["faults"] = sim.fault_injector.summary()
+    if sim.drain_controller is not None:
+        out["drain_covered_links"] = sim.drain_controller.total_path_length()
+        out["drain_cycles_installed"] = len(sim.drain_controller.paths)
+    out["links_alive"] = sim.index.num_links - len(sim.index.dead_links)
+    return out
 
 
 @register_runner("coherence")

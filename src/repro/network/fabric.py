@@ -119,7 +119,23 @@ class Fabric:
     # NI-side API (used by traffic generators and protocol models)
     # ------------------------------------------------------------------
     def offer_packet(self, packet: Packet) -> bool:
-        """Enqueue *packet* at its source NI; False when the queue is full."""
+        """Enqueue *packet* at its source NI; False when the queue is full.
+
+        Under runtime faults, packets from a dead source or towards an
+        unreachable/dead destination are swallowed (accepted then counted
+        lost) instead of rejected: a False return would make open-loop
+        traffic retry the same doomed packet forever and wedge the NI
+        queue for routable traffic behind it.
+        """
+        index = self.index
+        if index.dead_routers or index.dead_links:
+            if (
+                packet.src in index.dead_routers
+                or packet.dst in index.dead_routers
+                or index.dist[packet.src][packet.dst] < 0
+            ):
+                self.stats.packets_unroutable += 1
+                return True
         queue = self.inj_queues[packet.src][packet.msg_class]
         if len(queue) >= self._inj_depth:
             return False
@@ -237,7 +253,10 @@ class Fabric:
         buf = self.buf
         index = self.index
         stats = self.stats
+        dead_routers = index.dead_routers
         for node in range(index.num_nodes):
+            if dead_routers and node in dead_routers:
+                continue
             queues = self.inj_queues[node]
             port = index.num_links + node
             # Rotate class service order for fairness between classes that
@@ -306,7 +325,11 @@ class Fabric:
         eject_pending = [[0] * _NUM_CLASSES for _ in range(index.num_nodes)]
 
         lcg = self._lcg
+        dead_links = index.dead_links
+        dead_routers = index.dead_routers
         for router in range(index.num_nodes):
+            if dead_routers and router in dead_routers:
+                continue  # dead router: buffers were emptied at fault time
             ports = index.in_ports[router]
             nports = len(ports)
             port_start = (cycle + router) % nports
@@ -352,6 +375,7 @@ class Fabric:
                                     if (
                                         link_used[link]
                                         or self._link_busy_until[link] >= cycle
+                                        or (dead_links and link in dead_links)
                                     ):
                                         continue
                                     tvc = self._pick_vc(link, vn, vc_mode, claimed)
@@ -571,6 +595,105 @@ class Fabric:
         for link, rate in enumerate(self.link_utilization()):
             load[self.index.link_dst[link]] += rate
         return load
+
+    # ------------------------------------------------------------------
+    # Runtime fault primitives (called by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def fault_cancel_transfers(
+        self, dead_link_ids: set, drop: bool
+    ) -> List[Packet]:
+        """Resolve serialised transfers caught mid-wire on dying links.
+
+        With ``drop`` the packet is lost (its flits were on the dead wire);
+        without it the transfer is cancelled and the packet stays in its
+        source slot — it never released that buffer — ready to reroute.
+        Returns the dropped packets so the caller can account/retransmit.
+        """
+        dropped: List[Packet] = []
+        if not self._in_flight:
+            for link in dead_link_ids:
+                self._link_busy_until[link] = -1
+            return dropped
+        remaining = []
+        for entry in self._in_flight:
+            done, sp, svn, svc, link, tvn, tvc, packet = entry
+            if link not in dead_link_ids:
+                remaining.append(entry)
+                continue
+            self._in_flight_sources.discard((sp, svn, svc))
+            self._reserved.discard((link, tvn, tvc))
+            if drop:
+                self.buf[sp][svn][svc] = None
+                self.packets_in_network -= 1
+                dropped.append(packet)
+        self._in_flight = remaining
+        for link in dead_link_ids:
+            self._link_busy_until[link] = -1
+        return dropped
+
+    def fault_drop_slot(self, port: int, vn: int, vc: int) -> Packet:
+        """Vaporise the packet in one buffer slot (fault semantics)."""
+        packet = self.buf[port][vn][vc]
+        if packet is None:
+            raise ValueError(f"no packet at slot {(port, vn, vc)}")
+        self.buf[port][vn][vc] = None
+        self.packets_in_network -= 1
+        self._in_flight_sources.discard((port, vn, vc))
+        return packet
+
+    def fault_kill_router(self, router: int) -> List[Packet]:
+        """Drop everything resident at a dying router; return the packets.
+
+        Covers the router's input-port VCs (including its injection port)
+        and both NI queue sets. Serialised transfers on the router's
+        incident links must already have been resolved via
+        :meth:`fault_cancel_transfers` (their links die with the router).
+        """
+        dropped: List[Packet] = []
+        for port in self.index.in_ports[router]:
+            rows = self.buf[port]
+            for vn in range(self.num_vns):
+                row = rows[vn]
+                for vc in range(self.vcs_per_vn):
+                    if row[vc] is not None:
+                        dropped.append(self.fault_drop_slot(port, vn, vc))
+        for queue_set in (self.inj_queues[router], self.ej_queues[router]):
+            for queue in queue_set:
+                while queue:
+                    dropped.append(queue.popleft())
+        return dropped
+
+    def fault_drop_unroutable(self) -> List[Packet]:
+        """Drop buffered/queued packets with no surviving route; return them.
+
+        A packet is unroutable when its destination died or the fault
+        disconnected it from the packet's current router. Run after
+        :meth:`FabricIndex.apply_faults` so the distance matrix is current.
+        """
+        index = self.index
+        dead_routers = index.dead_routers
+        dist = index.dist
+        dropped: List[Packet] = []
+        for port, vn, vc, packet in self.occupied_slots():
+            here = index.port_router[port]
+            if here in dead_routers:
+                continue  # handled by fault_kill_router
+            if packet.dst in dead_routers or dist[here][packet.dst] < 0:
+                dropped.append(self.fault_drop_slot(port, vn, vc))
+        for node in range(index.num_nodes):
+            if node in dead_routers:
+                continue
+            for queue in self.inj_queues[node]:
+                keep = []
+                for p in queue:
+                    if p.dst not in dead_routers and dist[node][p.dst] >= 0:
+                        keep.append(p)
+                    else:
+                        dropped.append(p)
+                if len(keep) != len(queue):
+                    queue.clear()
+                    queue.extend(keep)
+        return dropped
 
     def force_move(self, src: Tuple[int, int, int], dst: Tuple[int, int, int]) -> None:
         """Teleport a packet between slots (drain/spin rotation primitive).

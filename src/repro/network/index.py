@@ -12,7 +12,8 @@ by a single integer port id:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from collections import deque
+from typing import Dict, List, Set
 
 from ..topology.graph import Link, Topology
 
@@ -48,6 +49,93 @@ class FabricIndex:
 
         # Hop-distance matrix for minimal routing and misroute accounting.
         self.dist: List[List[int]] = topology.all_pairs_distances()
+
+        # Runtime fault state (mid-simulation link/router deaths). The
+        # static port/link numbering never changes — dead resources keep
+        # their ids so buffer addressing stays valid — but distances and
+        # routing tables are recomputed over the survivors.
+        self.dead_links: Set[int] = set()
+        self.dead_routers: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Runtime faults
+    # ------------------------------------------------------------------
+    def link_alive(self, link: int) -> bool:
+        return link not in self.dead_links
+
+    def router_alive(self, router: int) -> bool:
+        return router not in self.dead_routers
+
+    def apply_faults(self, dead_links: Set[int], dead_routers: Set[int]) -> None:
+        """Install the current fault state and recompute hop distances.
+
+        *dead_links* is the complete set of dead unidirectional link ids
+        (callers kill both directions of a bidirectional link together);
+        *dead_routers* the complete set of dead routers. Distances are
+        recomputed by BFS over the surviving graph; unreachable pairs get
+        distance -1, matching :meth:`Topology.bfs_distances`.
+        """
+        self.dead_links = set(dead_links)
+        self.dead_routers = set(dead_routers)
+        n = self.num_nodes
+        alive_out: List[List[int]] = [[] for _ in range(n)]
+        for link in range(self.num_links):
+            if link in self.dead_links:
+                continue
+            src, dst = self.link_src[link], self.link_dst[link]
+            if src in self.dead_routers or dst in self.dead_routers:
+                continue
+            alive_out[src].append(dst)
+        for src in range(n):
+            dist = [-1] * n
+            if src not in self.dead_routers:
+                dist[src] = 0
+                frontier = deque([src])
+                while frontier:
+                    node = frontier.popleft()
+                    for neigh in alive_out[node]:
+                        if dist[neigh] < 0:
+                            dist[neigh] = dist[node] + 1
+                            frontier.append(neigh)
+            self.dist[src] = dist
+
+    def surviving_topology(self) -> Topology:
+        """The alive sub-topology (full router numbering, dead ones isolated).
+
+        Dead routers stay as isolated nodes so ids keep matching the
+        original numbering; their incident links — and explicitly dead
+        links — are absent. The online drain-path recovery runs over this
+        view.
+        """
+        edges = []
+        seen = set()
+        for link in range(self.num_links):
+            if link in self.dead_links:
+                continue
+            a, b = self.link_src[link], self.link_dst[link]
+            if a in self.dead_routers or b in self.dead_routers:
+                continue
+            key = (min(a, b), max(a, b))
+            if key not in seen:
+                seen.add(key)
+                edges.append(key)
+        return Topology(
+            self.num_nodes, edges, name=f"{self.topology.name}-surviving"
+        )
+
+    def unreachable_pairs(self) -> int:
+        """Ordered alive (src, dst) pairs with no surviving route."""
+        count = 0
+        for src in range(self.num_nodes):
+            if src in self.dead_routers:
+                continue
+            row = self.dist[src]
+            for dst in range(self.num_nodes):
+                if dst == src or dst in self.dead_routers:
+                    continue
+                if row[dst] < 0:
+                    count += 1
+        return count
 
     def injection_port(self, router: int) -> int:
         """Port id of router *router*'s injection buffer."""

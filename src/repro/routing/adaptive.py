@@ -26,18 +26,27 @@ class AdaptiveMinimalRouting(RoutingFunction):
 
     def __init__(self, index: FabricIndex) -> None:
         self.index = index
+        self._build(strict=True)
+
+    def _build(self, strict: bool) -> None:
+        index = self.index
         dist = index.dist
         n = index.num_nodes
+        dead_links = index.dead_links
         # productive[router][dst] = link ids one hop closer to dst.
         self._productive: List[List[List[int]]] = [[[] for _ in range(n)] for _ in range(n)]
         for router in range(n):
             for link in index.out_links[router]:
+                if link in dead_links:
+                    continue
                 neighbor = index.link_dst[link]
                 for dst in range(n):
                     if dst == router:
                         continue
-                    if dist[neighbor][dst] == dist[router][dst] - 1:
+                    if dist[router][dst] > 0 and dist[neighbor][dst] == dist[router][dst] - 1:
                         self._productive[router][dst].append(link)
+        if not strict:
+            return
         for router in range(n):
             for dst in range(n):
                 if dst != router and not self._productive[router][dst]:
@@ -45,6 +54,17 @@ class AdaptiveMinimalRouting(RoutingFunction):
                         f"no productive link from {router} to {dst}: "
                         "topology must be connected"
                     )
+
+    def rebuild(self) -> None:
+        """Recompute the route tables after a runtime fault.
+
+        The index's distance matrix must already reflect the fault (see
+        :meth:`FabricIndex.apply_faults`). Unlike construction, a rebuild
+        tolerates unreachable pairs — those (router, dst) entries become
+        empty candidate lists and the fault injector drops the affected
+        packets instead of crashing the allocator.
+        """
+        self._build(strict=False)
 
     def candidates(self, router: int, packet: Packet) -> List[int]:
         return self._productive[router][packet.dst]

@@ -39,3 +39,15 @@ class RoutingFunction(ABC):
 
     def on_inject(self, packet: Packet) -> None:
         """Initialise per-packet routing state at injection."""
+
+    def rebuild(self) -> None:
+        """Recompute route tables after a runtime fault (online recovery).
+
+        Implementations read the fault state from their ``FabricIndex``
+        (``dead_links`` / ``dead_routers`` and the refreshed distance
+        matrix). Functions without a fault story refuse loudly rather than
+        silently routing into dead links.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support online fault recovery"
+        )

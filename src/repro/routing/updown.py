@@ -39,11 +39,46 @@ class UpDownRouting(RoutingFunction):
         self.index = index
         self.root = root
         self.deterministic = deterministic
-        topology = index.topology
+        self._build(strict=True)
+
+    def _build(self, strict: bool) -> None:
+        """(Re)compute labels, link classes and route tables.
+
+        With ``strict=False`` the build runs over the surviving graph
+        (dead links/routers from the index's fault state are excluded) and
+        unreachable pairs are tolerated — this is the post-fault rebuild
+        path, mirroring how Autonet-style systems rerun up*/down*
+        labelling after a failure.
+        """
+        index = self.index
+        root = self.root
         n = index.num_nodes
+        dead_links = index.dead_links
+        dead_routers = index.dead_routers
+
+        def link_dead(i: int) -> bool:
+            return (
+                i in dead_links
+                or index.link_src[i] in dead_routers
+                or index.link_dst[i] in dead_routers
+            )
 
         # BFS numbering from the root: lower number == closer to the root.
-        order = topology.bfs_distances(root)
+        # Post-fault this must run over the surviving adjacency, not the
+        # boot topology, so labels stay meaningful.
+        order = [-1] * n
+        if root not in dead_routers:
+            order[root] = 0
+            frontier = deque([root])
+            while frontier:
+                node = frontier.popleft()
+                for link in index.out_links[node]:
+                    if link_dead(link):
+                        continue
+                    neigh = index.link_dst[link]
+                    if order[neigh] < 0:
+                        order[neigh] = order[node] + 1
+                        frontier.append(neigh)
         self.label: List[Tuple[int, int]] = [(order[r], r) for r in range(n)]
         # (distance, id) pairs give the required unique total ordering.
 
@@ -57,6 +92,8 @@ class UpDownRouting(RoutingFunction):
         # State encoding: state = 2*router + (1 if up-phase else 0).
         rev: List[List[Tuple[int, int]]] = [[] for _ in range(2 * n)]
         for link in range(index.num_links):
+            if link_dead(link):
+                continue
             src = index.link_src[link]
             dst = index.link_dst[link]
             if self.link_is_up[link]:
@@ -91,6 +128,8 @@ class UpDownRouting(RoutingFunction):
             self._hops.append(dist)
             self._next.append(choices)
 
+        if not strict:
+            return
         for dst in range(n):
             for router in range(n):
                 if router != dst and self._hops[dst][2 * router + 1] < 0:
@@ -98,6 +137,15 @@ class UpDownRouting(RoutingFunction):
                         f"up*/down* cannot route {router} -> {dst}: "
                         "topology must be connected"
                     )
+
+    def rebuild(self) -> None:
+        """Relabel and recompute routes after a runtime fault.
+
+        Requires the index's fault state to be current. Unreachable pairs
+        yield empty candidate lists; the fault injector is responsible for
+        dropping packets with no surviving route.
+        """
+        self._build(strict=False)
 
     # ------------------------------------------------------------------
     # RoutingFunction interface

@@ -30,6 +30,20 @@ def inject_link_faults(
     """
     if num_faults < 0:
         raise ValueError("num_faults must be non-negative")
+    # A connected graph can lose exactly num_edges - (num_nodes - 1) links
+    # before the survivor is forced below a spanning tree: any connected
+    # non-tree graph has a cycle whose edges are all safely removable, so
+    # the bound is tight. Reject infeasible requests up front instead of
+    # burning max_attempts (or, on tiny rings / 2-node topologies, silently
+    # under-injecting before the attempts loop gives up).
+    max_removable = topology.num_edges - (topology.num_nodes - 1)
+    if num_faults > max_removable:
+        raise ValueError(
+            f"cannot inject {num_faults} faults into {topology.name}: only "
+            f"{max_removable} of its {topology.num_edges} links can fail "
+            f"before the network disconnects ({topology.num_nodes} routers "
+            f"need a spanning tree of {topology.num_nodes - 1} links)"
+        )
     faulty = topology.copy()
     faulty.name = f"{topology.name}-f{num_faults}"
     removed = 0

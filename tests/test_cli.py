@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main, parse_topology
@@ -91,3 +93,63 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_fault_recovery_experiment_registered(self):
+        assert "fault-recovery" in EXPERIMENTS
+
+
+class TestErrorPaths:
+    def test_bad_topology_is_one_line_error(self, capsys):
+        assert main(["run", "--topology", "mesh:oops"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_unknown_scheme_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "nonsense"])
+
+    def test_sweep_unknown_scheme_exits_nonzero(self, capsys):
+        assert main([
+            "sweep", "--topology", "mesh:4x4", "--schemes", "nonsense",
+            "--no-cache",
+        ]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_unsatisfiable_fault_schedule_exits_nonzero(self, capsys):
+        code = main([
+            "faults", "--topology", "mesh:2x2", "--num-faults", "5",
+            "--no-cache",
+        ])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "removable" in captured.err
+
+
+class TestFaultsCommand:
+    def test_faults_run_and_artefact(self, tmp_path, capsys):
+        code = main([
+            "faults", "--topology", "mesh:4x4", "--num-faults", "1",
+            "--cycles", "1200", "--no-cache",
+            "--out-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drain recovery:" in out
+        assert "recovery curve" in out
+        artefacts = list(tmp_path.glob("faults_*.json"))
+        artefacts = [p for p in artefacts if "manifest" not in p.name]
+        assert len(artefacts) == 1
+        payload = json.loads(artefacts[0].read_text())
+        assert payload["curve"], "recovery curve missing from artefact"
+        assert payload["schedule"]["events"]
+        assert payload["summary"]["drain_recomputes"] >= 1
+
+    def test_timeout_flag_accepted(self, capsys):
+        code = main([
+            "faults", "--topology", "mesh:4x4", "--num-faults", "1",
+            "--cycles", "1200", "--no-cache", "--timeout", "120",
+            "--workers", "2",
+        ])
+        assert code == 0

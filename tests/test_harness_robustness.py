@@ -1,0 +1,214 @@
+"""Crash-proofing tests for the sweep harness.
+
+A long sweep must survive everything short of the host losing power:
+workers segfaulting mid-trial, trials wedging forever, the parent being
+SIGKILLed between journal writes, and cache entries torn by earlier
+crashes. Each case here either recovers to the byte-identical artefact an
+uninterrupted run would have produced, or fails loudly with a typed error
+after bounded retries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.config import Scheme
+from repro.experiments.common import Scale
+from repro.faults import FaultSchedule
+from repro.harness import (
+    Harness,
+    ResultCache,
+    SweepJournal,
+    TrialExecutionError,
+    TrialSpec,
+    TrialTimeoutError,
+    fault_recovery_trial,
+    register_runner,
+    synthetic_trial,
+)
+from repro.experiments.common import scheme_config, synthetic_trial_for
+from repro.topology.mesh import make_mesh
+
+TINY = Scale(warmup=100, measure=300, fault_patterns=1,
+             sweep_rates=(0.04,), epoch=256, spin_timeout=64)
+
+
+# --- misbehaving runners, registered once at import (workers fork) --------
+
+@register_runner("crash_once")
+def _crash_once(params):
+    flag = params["flag"]
+    if not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write("crashed")
+        os._exit(42)  # simulates a segfaulting worker, not an exception
+    return {"value": params["value"] * 2}
+
+
+@register_runner("always_crashes")
+def _always_crashes(params):
+    os._exit(13)
+
+
+@register_runner("sleepy")
+def _sleepy(params):
+    time.sleep(params["seconds"])
+    return {"value": params["value"]}
+
+
+@register_runner("always_raises")
+def _always_raises(params):
+    raise ValueError("deterministic bug in the trial itself")
+
+
+def fault_specs(seeds=(1, 2)):
+    """A couple of realistic fault-injected trials."""
+    topo = make_mesh(4, 4)
+    specs = []
+    for seed in seeds:
+        schedule = FaultSchedule.generate(
+            topo, 2, seed=seed, window=(150, 350),
+        )
+        config = scheme_config(Scheme.DRAIN, TINY, seed=seed)
+        specs.append(
+            fault_recovery_trial(
+                topo, config, 0.05, cycles=800, warmup=100,
+                schedule=schedule, policy="drop_retransmit",
+                curve_window=100, mesh_width=4,
+            )
+        )
+    return specs
+
+
+class TestWorkerCrash:
+    def test_dead_worker_detected_and_trial_requeued(self, tmp_path):
+        flag = tmp_path / "crashed.flag"
+        spec = TrialSpec("crash_once", {"flag": str(flag), "value": 21})
+        harness = Harness(workers=2, cache=None, timeout=30)
+        (result,) = harness.run([spec])
+        assert result == {"value": 42}
+        assert flag.exists()
+        assert harness.retries_performed == 1
+
+    def test_crash_mid_sweep_same_artefact_as_clean_run(self, tmp_path):
+        specs = fault_specs()
+        clean = Harness(workers=1, cache=None).run(list(specs))
+        flag = tmp_path / "mid.flag"
+        crashy = [TrialSpec("crash_once", {"flag": str(flag), "value": 1})]
+        crashy += fault_specs()
+        harness = Harness(workers=2, cache=None, timeout=60)
+        results = harness.run(crashy)
+        assert results[0] == {"value": 2}
+        assert json.dumps(results[1:], sort_keys=True) == json.dumps(
+            clean, sort_keys=True
+        )
+
+    def test_exhausted_retries_raise(self, tmp_path):
+        # A runner that always dies: every respawn crashes again.
+        spec = TrialSpec("always_crashes", {"value": 1})
+        harness = Harness(workers=1, cache=None, timeout=30, max_retries=1,
+                          retry_backoff=0.01)
+        with pytest.raises(TrialExecutionError):
+            harness.run([spec])
+
+
+class TestTimeouts:
+    def test_wedged_trial_times_out_with_typed_error(self):
+        spec = TrialSpec("sleepy", {"seconds": 60, "value": 1})
+        harness = Harness(workers=1, cache=None, timeout=0.3, max_retries=1,
+                          retry_backoff=0.01)
+        with pytest.raises(TrialTimeoutError):
+            harness.run([spec])
+
+    def test_fast_trials_unaffected_by_timeout(self):
+        specs = [TrialSpec("sleepy", {"seconds": 0, "value": v})
+                 for v in range(4)]
+        harness = Harness(workers=2, cache=None, timeout=30)
+        results = harness.run(specs)
+        assert [r["value"] for r in results] == [0, 1, 2, 3]
+        assert harness.retries_performed == 0
+
+    def test_deterministic_trial_bug_is_not_retried(self):
+        spec = TrialSpec("always_raises", {})
+        harness = Harness(workers=1, cache=None, timeout=30, max_retries=2)
+        with pytest.raises(TrialExecutionError, match="deterministic bug"):
+            harness.run([spec])
+        assert harness.retries_performed == 0
+
+
+class TestJournalResume:
+    def test_interrupted_sweep_resumes_byte_identical(self, tmp_path):
+        specs = fault_specs()
+        journal_path = tmp_path / "sweep.journal"
+        with SweepJournal(journal_path) as journal:
+            first = Harness(workers=1, cache=None, journal=journal).run(
+                list(specs)
+            )
+        # Simulate SIGKILL mid-write: a torn record plus plain corruption
+        # at the tail of the journal file.
+        with open(journal_path, "a") as fh:
+            fh.write('{"digest": "deadbeef", "result"')
+            fh.write("\nnot json at all\n")
+        with SweepJournal(journal_path) as journal:
+            assert journal.corrupt_lines == 2
+            harness = Harness(workers=1, cache=None, journal=journal)
+            second = harness.run(list(specs))
+        assert harness.trials_executed == 0  # everything replayed
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_journal_preferred_over_cache(self, tmp_path):
+        spec = synthetic_trial_for(make_mesh(4, 4), Scheme.DRAIN, 0.05, TINY,
+                                   mesh_width=4, seed=1)
+        cache = ResultCache(tmp_path / "cache")
+        with SweepJournal(tmp_path / "sweep.journal") as journal:
+            harness = Harness(workers=1, cache=cache, journal=journal)
+            (first,) = harness.run([spec])
+            # Poison the cache entry; the journal copy must win.
+            cache.put(spec.digest(), {"result": {"poisoned": True}})
+            harness2 = Harness(workers=1, cache=cache, journal=journal)
+            (second,) = harness2.run([spec])
+        assert second == first
+        assert harness2.trials_executed == 0
+
+
+class TestCorruptCache:
+    def test_torn_cache_entry_recomputed(self, tmp_path):
+        spec = synthetic_trial_for(make_mesh(4, 4), Scheme.DRAIN, 0.05, TINY,
+                                   mesh_width=4, seed=1)
+        cache = ResultCache(tmp_path / "cache")
+        (first,) = Harness(workers=1, cache=cache).run([spec])
+        path = cache.path_for(spec.digest())
+        path.write_text('{"spec": {}, "resu')  # torn mid-write
+        harness = Harness(workers=1, cache=cache)
+        (second,) = harness.run([spec])
+        assert harness.trials_executed == 1
+        assert second == first
+
+    def test_valid_json_but_not_a_payload_recomputed(self, tmp_path):
+        spec = synthetic_trial_for(make_mesh(4, 4), Scheme.DRAIN, 0.05, TINY,
+                                   mesh_width=4, seed=1)
+        cache = ResultCache(tmp_path / "cache")
+        (first,) = Harness(workers=1, cache=cache).run([spec])
+        cache.path_for(spec.digest()).write_text('["wrong", "shape"]')
+        (second,) = Harness(workers=1, cache=cache).run([spec])
+        assert second == first
+
+
+class TestFaultDeterminism:
+    def test_recovery_curves_identical_across_worker_counts(self):
+        specs = fault_specs(seeds=(1, 2, 3))
+        serial = Harness(workers=1, cache=None).run(list(specs))
+        parallel = Harness(workers=4, cache=None).run(list(specs))
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True
+        )
+        # The curves themselves are present and non-trivial.
+        for res in serial:
+            assert len(res["faults"]["recovery_curve"]) >= 5
+            assert res["faults"]["faults_applied"] == 2

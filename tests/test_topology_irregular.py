@@ -44,6 +44,21 @@ class TestInjectLinkFaults:
         with pytest.raises(ValueError):
             inject_link_faults(make_mesh(4, 4), 20, random.Random(6))
 
+    def test_ring_has_exactly_one_removable_link(self):
+        from repro.topology.mesh import make_ring
+
+        faulty = inject_link_faults(make_ring(6), 1, random.Random(6))
+        assert faulty.is_connected()
+        with pytest.raises(ValueError):
+            inject_link_faults(make_ring(6), 2, random.Random(6))
+
+    def test_two_node_network_has_no_removable_link(self):
+        from repro.topology.graph import Topology
+
+        pair = Topology(2, [(0, 1)], name="pair")
+        with pytest.raises(ValueError):
+            inject_link_faults(pair, 1, random.Random(6))
+
     def test_maximum_removable_leaves_spanning_tree(self):
         topo = make_mesh(4, 4)
         faulty = inject_link_faults(topo, 9, random.Random(7))
