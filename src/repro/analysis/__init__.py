@@ -1,0 +1,64 @@
+"""Static analysis of DRAIN configurations (`repro.analysis`).
+
+Two engines, both pure functions of their inputs (no simulation, no
+wall-clock, no global state):
+
+- :mod:`repro.analysis.certifier` — a configuration certifier. Given a
+  topology, a routing function and/or a drain-path set (optionally after
+  applying a :class:`~repro.faults.schedule.FaultSchedule` snapshot), it
+  constructs the restricted channel-dependency graph, enumerates reachable
+  turn-cycles, and emits a machine-readable :class:`~repro.analysis.
+  certifier.Certificate`: ``CERTIFIED`` with a coverage/acyclicity proof
+  object, or ``REFUTED`` with a concrete counterexample (the offending
+  turn-cycle, or the uncovered-link set in
+  :class:`~repro.drain.path.DrainPathError` payload form).
+
+- :mod:`repro.analysis.lint` — an AST-based determinism lint pass that
+  statically enforces the project's reproducibility invariants over
+  ``src/``: no unsalted ``hash()``, no module-level ``random`` state, no
+  wall-clock reads in trial code, no non-picklable ``TrialSpec`` params,
+  no golden-summary shape mutation, no mutable default arguments.
+
+The certifier also backs the harness's opt-out pre-flight gate
+(:mod:`repro.analysis.preflight`): every :class:`~repro.harness.trials.
+TrialSpec` is statically validated before worker submission, so malformed
+sweeps fail in milliseconds instead of timing out per-trial.
+
+CLI entry points: ``repro-drain check`` and ``repro-drain lint``.
+"""
+
+from .certifier import (
+    CERTIFIED,
+    REFUTED,
+    ROUTING_NAMES,
+    Certificate,
+    build_restricted_cdg,
+    certify_configuration,
+    certify_drain_cover,
+    certify_routing,
+    find_turn_cycle,
+    routing_for,
+    topological_link_order,
+)
+from .lint import LintFinding, lint_file, lint_paths, lint_source
+from .preflight import PreflightError, validate_spec
+
+__all__ = [
+    "CERTIFIED",
+    "REFUTED",
+    "Certificate",
+    "LintFinding",
+    "PreflightError",
+    "ROUTING_NAMES",
+    "build_restricted_cdg",
+    "certify_configuration",
+    "certify_drain_cover",
+    "certify_routing",
+    "find_turn_cycle",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "routing_for",
+    "topological_link_order",
+    "validate_spec",
+]

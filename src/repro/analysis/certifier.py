@@ -1,0 +1,677 @@
+"""Static deadlock-freedom certification of DRAIN configurations.
+
+DRAIN's correctness argument is static: deadlock freedom follows either
+from an *acyclic* restricted channel-dependency graph (turn-restricted
+routing such as DOR or up*/down*, and the escape sub-network of the
+escape-VC baseline), or from a precomputed drain-cycle set covering every
+unidirectional link of the (surviving) topology exactly once (the DRAIN
+scheme itself, Section III of the paper). Both properties are decidable
+from the configuration alone, so any (topology, routing, drain-path)
+triple can be *certified or refuted* before a single simulated cycle.
+
+The certifier emits a :class:`Certificate` either way:
+
+- ``CERTIFIED`` carries a checkable proof object — a topological order of
+  the restricted dependency graph's links (every legal turn goes strictly
+  forward in the order, hence no cycle), or a coverage account (each
+  surviving link covered exactly once by exactly one drain cycle, each
+  cycle a closed walk of legal turns);
+- ``REFUTED`` carries a concrete counterexample — a minimal reachable
+  turn-cycle of the restricted dependency graph, or the uncovered /
+  duplicated / foreign link sets in the same payload shape as
+  :class:`~repro.drain.path.DrainPathError`.
+
+The restricted channel-dependency graph is built per destination from the
+routing function's own tables (see :meth:`~repro.routing.base.
+RoutingFunction.route_candidates`): there is an edge ``l -> m`` when some
+packet routed to destination ``d`` can hold link ``l`` while requesting
+link ``m`` at router ``l.dst``. For phase-stateful routing (up*/down*)
+the arrival phase is derived from the link class, so illegal down->up
+turns never appear. Where holding-state reachability is approximated, the
+approximation only *adds* edges — extra edges can produce a spurious
+refutation but never a spurious certificate, keeping ``CERTIFIED`` sound.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.config import Scheme
+from ..drain.path import (
+    DrainPath,
+    DrainPathError,
+    euler_drain_path,
+    hawick_james_drain_path,
+)
+from ..network.index import FabricIndex
+from ..routing.adaptive import AdaptiveMinimalRouting
+from ..routing.base import RoutingFunction
+from ..routing.dor import DimensionOrderRouting
+from ..routing.updown import UpDownRouting
+from ..topology.graph import Link, Topology
+
+__all__ = [
+    "CERTIFIED",
+    "REFUTED",
+    "Certificate",
+    "ROUTING_NAMES",
+    "routing_for",
+    "build_restricted_cdg",
+    "topological_link_order",
+    "find_turn_cycle",
+    "certify_routing",
+    "certify_drain_cover",
+    "certify_configuration",
+    "apply_schedule",
+]
+
+CERTIFIED = "CERTIFIED"
+REFUTED = "REFUTED"
+
+#: Routing functions the certifier can instantiate by name.
+ROUTING_NAMES = ("dor", "adaptive", "updown")
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Machine-readable verdict of one static certification run.
+
+    ``subject`` identifies what was checked (topology, routing, drain
+    cycles, fault snapshot); ``proof`` is present exactly when the verdict
+    is ``CERTIFIED`` and ``counterexample`` exactly when it is
+    ``REFUTED``. :meth:`as_dict` is deterministic: link sets are sorted,
+    cycles are rotated to start at their smallest link, and no timestamps
+    or process state enter the payload.
+    """
+
+    verdict: str
+    subject: Mapping[str, Any]
+    proof: Optional[Mapping[str, Any]] = None
+    counterexample: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.verdict not in (CERTIFIED, REFUTED):
+            raise ValueError(f"unknown verdict {self.verdict!r}")
+        if (self.verdict == CERTIFIED) == (self.counterexample is not None):
+            raise ValueError(
+                "CERTIFIED requires a proof and no counterexample; "
+                "REFUTED requires a counterexample"
+            )
+
+    @property
+    def certified(self) -> bool:
+        return self.verdict == CERTIFIED
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "verdict": self.verdict,
+            "subject": dict(self.subject),
+            "proof": None if self.proof is None else dict(self.proof),
+            "counterexample": (
+                None if self.counterexample is None
+                else dict(self.counterexample)
+            ),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def summary(self) -> str:
+        """One human-readable line (the CLI's non-JSON output)."""
+        subject = self.subject
+        what = subject.get("claim", subject.get("kind", "configuration"))
+        head = f"{self.verdict}: {subject.get('topology', '?')} [{what}]"
+        if self.certified:
+            proof = self.proof or {}
+            return f"{head} via {proof.get('method', '?')}"
+        counter = self.counterexample or {}
+        kind = counter.get("kind", "?")
+        if kind == "turn-cycle":
+            cycle = " -> ".join(counter.get("links", []))
+            return f"{head}: turn-cycle of length {counter.get('length')}: {cycle}"
+        if kind == "uncovered-links":
+            return (
+                f"{head}: missing={counter.get('missing')} "
+                f"extra={counter.get('extra')}"
+            )
+        return f"{head}: {kind}"
+
+
+# ----------------------------------------------------------------------
+# Restricted channel-dependency graph construction
+# ----------------------------------------------------------------------
+def routing_for(name: str, index: FabricIndex) -> RoutingFunction:
+    """Instantiate the routing function called *name* over *index*."""
+    if name == "dor":
+        return DimensionOrderRouting(index)
+    if name == "adaptive":
+        return AdaptiveMinimalRouting(index)
+    if name == "updown":
+        return UpDownRouting(index)
+    raise ValueError(
+        f"unknown routing function {name!r}; choose from {ROUTING_NAMES}"
+    )
+
+
+def build_restricted_cdg(
+    index: FabricIndex, routing: RoutingFunction
+) -> List[List[int]]:
+    """Adjacency (link id -> sorted successor link ids) of reachable turns.
+
+    An edge ``l -> m`` means: for some destination ``d``, a packet routed
+    to ``d`` can hold ``l`` (i.e. ``l`` is offered by the routing function
+    at ``l.src`` for ``d`` in some reachable phase) while requesting ``m``
+    at ``l.dst``. Dead links and routers (the index's fault state) are
+    excluded.
+    """
+    n = index.num_nodes
+    num_links = index.num_links
+    phases: Tuple[bool, ...] = (True, False) if routing.stateful else (True,)
+
+    def alive(link: int) -> bool:
+        return (
+            link not in index.dead_links
+            and index.link_src[link] not in index.dead_routers
+            and index.link_dst[link] not in index.dead_routers
+        )
+
+    successors: List[set] = [set() for _ in range(num_links)]
+    for dst in range(n):
+        if dst in index.dead_routers:
+            continue
+        # Candidate tables for this destination, per (router, phase).
+        cand: Dict[Tuple[int, bool], frozenset] = {}
+        for router in range(n):
+            if router == dst or router in index.dead_routers:
+                continue
+            for phase in phases:
+                cand[(router, phase)] = frozenset(
+                    routing.route_candidates(router, dst, up_phase=phase)
+                )
+        for link in range(num_links):
+            if not alive(link):
+                continue
+            src, mid = index.link_src[link], index.link_dst[link]
+            if src == dst or mid == dst:
+                # A packet at its destination ejects; it neither leaves the
+                # destination nor requests a turn out of it.
+                continue
+            for phase in phases:
+                if link not in cand.get((src, phase), ()):
+                    continue
+                arrival = routing.arrival_phase(link, phase)
+                for m in cand.get((mid, arrival), ()):
+                    if alive(m):
+                        successors[link].add(m)
+    return [sorted(s) for s in successors]
+
+
+def topological_link_order(
+    adjacency: Sequence[Sequence[int]],
+) -> Optional[List[int]]:
+    """Kahn topological order of the dependency graph, or None if cyclic.
+
+    The returned order is itself the acyclicity certificate: every edge of
+    *adjacency* goes strictly forward in it, which any third party can
+    re-check in linear time.
+    """
+    n = len(adjacency)
+    indegree = [0] * n
+    for succs in adjacency:
+        for m in succs:
+            indegree[m] += 1
+    # Sorted frontier keeps the emitted order deterministic.
+    frontier = sorted(i for i in range(n) if indegree[i] == 0)
+    order: List[int] = []
+    while frontier:
+        node = frontier.pop(0)
+        order.append(node)
+        changed = False
+        for m in adjacency[node]:
+            indegree[m] -= 1
+            if indegree[m] == 0:
+                frontier.append(m)
+                changed = True
+        if changed:
+            frontier.sort()
+    return order if len(order) == n else None
+
+
+def find_turn_cycle(
+    adjacency: Sequence[Sequence[int]],
+) -> Optional[List[int]]:
+    """A minimal cycle of the dependency graph as a link-id list, or None.
+
+    Per-node BFS: for each node the shortest closed walk through it is
+    found; the global minimum (ties broken by smallest starting node) is
+    returned, rotated to begin at its smallest member. Runs in
+    ``O(V * (V + E))`` — fine at channel-dependency-graph sizes.
+    """
+    n = len(adjacency)
+    best: Optional[List[int]] = None
+    for start in range(n):
+        if best is not None and len(best) == 2:
+            break  # a 2-cycle is globally minimal (self-loops are impossible)
+        parent: Dict[int, int] = {}
+        depth = {start: 0}
+        frontier = [start]
+        found: Optional[List[int]] = None
+        while frontier and found is None:
+            next_frontier: List[int] = []
+            for node in frontier:
+                if best is not None and depth[node] + 1 >= len(best):
+                    continue  # cannot beat the incumbent from here
+                for m in adjacency[node]:
+                    if m == start:
+                        cycle = [node]
+                        while cycle[-1] != start:
+                            cycle.append(parent[cycle[-1]])
+                        cycle.reverse()
+                        found = cycle
+                        break
+                    if m not in depth:
+                        depth[m] = depth[node] + 1
+                        parent[m] = node
+                        next_frontier.append(m)
+                if found is not None:
+                    break
+            frontier = next_frontier
+        if found is not None and (best is None or len(found) < len(best)):
+            best = found
+    if best is None:
+        return None
+    pivot = best.index(min(best))
+    return best[pivot:] + best[:pivot]
+
+
+# ----------------------------------------------------------------------
+# Serialisation helpers (everything sorted / order-stable)
+# ----------------------------------------------------------------------
+def _link_label(link: Link) -> str:
+    return f"{link.src}->{link.dst}"
+
+
+def _link_pairs(links: Sequence[Link]) -> List[List[int]]:
+    return [[link.src, link.dst] for link in sorted(links)]
+
+
+def _topology_subject(topology: Topology) -> Dict[str, Any]:
+    return {
+        "topology": topology.name,
+        "nodes": topology.num_nodes,
+        "links": 2 * topology.num_edges,
+    }
+
+
+# ----------------------------------------------------------------------
+# Certification engines
+# ----------------------------------------------------------------------
+def certify_routing(
+    topology: Topology,
+    routing: Union[str, RoutingFunction],
+    index: Optional[FabricIndex] = None,
+    subject_extra: Optional[Mapping[str, Any]] = None,
+    node_labels: Optional[Sequence[int]] = None,
+) -> Certificate:
+    """Certify (or refute) acyclicity of one routing function's CDG.
+
+    ``CERTIFIED`` means the restricted channel-dependency graph is acyclic
+    — the routing function is deadlock-free by construction. ``REFUTED``
+    carries a minimal reachable turn-cycle as the counterexample.
+
+    *node_labels* relabels router ids in the emitted proof or
+    counterexample (used when certifying a renumbered component of a
+    larger post-fault topology).
+    """
+    if index is None:
+        index = FabricIndex(topology)
+    name = routing if isinstance(routing, str) else type(routing).__name__
+    if isinstance(routing, str):
+        routing = routing_for(routing, index)
+
+    def label(link: Link) -> str:
+        if node_labels is None:
+            return _link_label(link)
+        return f"{node_labels[link.src]}->{node_labels[link.dst]}"
+
+    adjacency = build_restricted_cdg(index, routing)
+    num_turns = sum(len(s) for s in adjacency)
+    subject = _topology_subject(topology)
+    subject.update({
+        "claim": "routing-acyclicity",
+        "routing": name,
+        "turns": num_turns,
+    })
+    if subject_extra:
+        subject.update(subject_extra)
+    order = topological_link_order(adjacency)
+    if order is not None:
+        links = index.links
+        proof = {
+            "method": "topological-link-order",
+            "links": len(links),
+            "turns": num_turns,
+            # The order is the checkable proof: every legal turn goes
+            # strictly forward in it.
+            "link_order": [label(links[i]) for i in order],
+        }
+        return Certificate(CERTIFIED, subject, proof=proof)
+    cycle = find_turn_cycle(adjacency)
+    assert cycle is not None  # Kahn failed, so a cycle must exist
+    routers = [index.link_src[i] for i in cycle]
+    if node_labels is not None:
+        routers = [node_labels[r] for r in routers]
+    counter = {
+        "kind": "turn-cycle",
+        "length": len(cycle),
+        "links": [label(index.links[i]) for i in cycle],
+        "routers": routers,
+    }
+    return Certificate(REFUTED, subject, counterexample=counter)
+
+
+def certify_drain_cover(
+    topology: Topology,
+    paths: Sequence[Union[DrainPath, Sequence[Link]]],
+    subject_extra: Optional[Mapping[str, Any]] = None,
+) -> Certificate:
+    """Certify that *paths* is a valid drain cover of *topology*.
+
+    The drain cover must consist of closed walks of legal turns (each link
+    handing over to a link leaving its endpoint) that together cover every
+    unidirectional link of *topology* exactly once. Refutations reuse the
+    :class:`~repro.drain.path.DrainPathError` payload shape: sorted
+    ``missing`` / ``extra`` link-pair lists, or the broken turn.
+    """
+    subject = _topology_subject(topology)
+    subject.update({"claim": "drain-coverage", "cycles": len(paths)})
+    if subject_extra:
+        subject.update(subject_extra)
+    link_lists: List[List[Link]] = [
+        list(p.links) if isinstance(p, DrainPath) else [
+            link if isinstance(link, Link) else Link(*link) for link in p
+        ]
+        for p in paths
+    ]
+    # Every cycle must be a closed walk of legal turns.
+    for ci, links in enumerate(link_lists):
+        if not links:
+            counter = {"kind": "empty-cycle", "cycle": ci}
+            return Certificate(REFUTED, subject, counterexample=counter)
+        for i, link in enumerate(links):
+            nxt = links[(i + 1) % len(links)]
+            if link.dst != nxt.src:
+                counter = {
+                    "kind": "broken-cycle",
+                    "cycle": ci,
+                    "position": i,
+                    "links": [_link_label(link), _link_label(nxt)],
+                }
+                return Certificate(REFUTED, subject, counterexample=counter)
+    # Exact coverage: every surviving unidirectional link exactly once.
+    expected = set(topology.unidirectional_links())
+    seen: Dict[Link, int] = {}
+    duplicates: List[Link] = []
+    for links in link_lists:
+        for link in links:
+            if link in seen:
+                duplicates.append(link)
+            seen[link] = seen.get(link, 0) + 1
+    if duplicates:
+        counter = {
+            "kind": "duplicate-links",
+            "duplicates": _link_pairs(sorted(set(duplicates))),
+        }
+        return Certificate(REFUTED, subject, counterexample=counter)
+    covered = set(seen)
+    if covered != expected:
+        err = DrainPathError(
+            "drain cover does not cover the topology exactly",
+            missing=expected - covered,
+            extra=covered - expected,
+        )
+        counter = {"kind": "uncovered-links"}
+        counter.update({k: v for k, v in err.as_dict().items()
+                        if k != "message"})
+        return Certificate(REFUTED, subject, counterexample=counter)
+    proof = {
+        "method": "drain-coverage",
+        "cycles": len(link_lists),
+        "covered_links": len(covered),
+        "cycle_lengths": [len(links) for links in link_lists],
+        "cycle_roots": [
+            min(link.src for link in links) for links in link_lists
+        ],
+    }
+    return Certificate(CERTIFIED, subject, proof=proof)
+
+
+def apply_schedule(topology: Topology, schedule) -> Topology:
+    """End-state survivor of *topology* under a fault-schedule snapshot.
+
+    Applies every permanent event of *schedule* (transient faults heal and
+    do not change the end state): link faults remove the bidirectional
+    link, router faults remove every incident link (the router remains as
+    an isolated node so ids keep matching). Missing targets are ignored —
+    a link can die only once.
+    """
+    survivor = topology.copy()
+    survivor.name = f"{topology.name}-post-fault"
+    for event in schedule.permanent_events():
+        if event.kind == "link":
+            a, b = event.target
+            if survivor.has_edge(a, b):
+                survivor.remove_edge(a, b)
+        else:
+            router = event.target[0]
+            for m in list(survivor.neighbors(router)):
+                survivor.remove_edge(router, m)
+    return survivor
+
+
+def _component_members(topology: Topology) -> List[List[int]]:
+    """Sorted member lists of each connected component with >= 1 link."""
+    seen: set = set()
+    components: List[List[int]] = []
+    for node in topology.nodes:
+        if node in seen or topology.degree(node) == 0:
+            continue
+        members = {node}
+        frontier = [node]
+        while frontier:
+            n = frontier.pop()
+            for m in topology.neighbors(n):
+                if m not in members:
+                    members.add(m)
+                    frontier.append(m)
+        seen |= members
+        components.append(sorted(members))
+    return components
+
+
+def _component_full(topology: Topology, members: Sequence[int]) -> Topology:
+    """One component as a sub-topology on the *full* router numbering.
+
+    Routers outside the component stay as isolated nodes, so the
+    component's links keep their original ``src``/``dst`` ids — required
+    for drain covers, whose cycles must name real fabric ports.
+    """
+    member_set = set(members)
+    edges = [
+        (a, b) for a, b in topology.bidirectional_links() if a in member_set
+    ]
+    return Topology(
+        topology.num_nodes, edges, name=f"{topology.name}-c{members[0]}"
+    )
+
+
+def _component_compact(
+    topology: Topology, members: Sequence[int]
+) -> Topology:
+    """One component renumbered to ``0..len(members)-1`` (connected).
+
+    Routing functions build strictly (every pair must be routable), so
+    they need a view without the isolated-node padding; pair this with
+    ``node_labels=members`` to keep original ids in certificates.
+    """
+    renumber = {orig: i for i, orig in enumerate(members)}
+    member_set = set(members)
+    edges = [
+        (renumber[a], renumber[b])
+        for a, b in topology.bidirectional_links()
+        if a in member_set
+    ]
+    return Topology(
+        len(members), edges, name=f"{topology.name}-c{members[0]}"
+    )
+
+
+def certify_configuration(
+    topology: Topology,
+    scheme: Union[Scheme, str] = Scheme.DRAIN,
+    routing: Optional[str] = None,
+    drain_paths: Optional[Sequence[Union[DrainPath, Sequence[Link]]]] = None,
+    schedule=None,
+    method: str = "euler",
+    max_circuits: Optional[int] = None,
+) -> Certificate:
+    """Certify one full (topology, scheme/routing, drain, faults) config.
+
+    The static claim checked depends on the scheme:
+
+    - ``drain``: the drain cover (given via *drain_paths*, or constructed
+      per surviving component with *method*) covers every surviving
+      unidirectional link exactly once;
+    - ``updown``: the up*/down* dependency graph is acyclic;
+    - ``escape_vc``: the escape sub-network's routing (DOR on a complete
+      mesh, up*/down* otherwise — the simulator's own selection) is
+      acyclic;
+    - everything else (``none``/``spin``/``static_bubble``/``ideal``, or
+      an explicit *routing* name): the main routing function's dependency
+      graph — fully adaptive routing is expected to be **refuted**, with
+      the minimal turn-cycle as the witness; those schemes rely on
+      runtime recovery, not on a static property.
+
+    *schedule* (a :class:`~repro.faults.schedule.FaultSchedule`) is
+    applied first; certification then runs over the survivor, per
+    connected component where components exist.
+    """
+    scheme = Scheme(scheme)
+    survivor = apply_schedule(topology, schedule) if schedule else topology
+    fault_extra: Dict[str, Any] = {}
+    if schedule is not None:
+        fault_extra["faults_applied"] = len(schedule.permanent_events())
+
+    if routing is None and scheme is Scheme.DRAIN:
+        if drain_paths is None:
+            drain_paths = _construct_drain_cover(
+                survivor, method=method, max_circuits=max_circuits
+            )
+            if isinstance(drain_paths, Certificate):  # construction refuted
+                return drain_paths
+        cert = certify_drain_cover(
+            survivor, drain_paths,
+            subject_extra={"scheme": scheme.value, **fault_extra},
+        )
+        return cert
+
+    if routing is None:
+        if scheme is Scheme.UPDOWN:
+            routing = "updown"
+        elif scheme is Scheme.ESCAPE_VC:
+            routing = _escape_routing_name(survivor)
+        else:
+            routing = "adaptive"
+    components = _component_members(survivor)
+    if not components:
+        return Certificate(
+            REFUTED,
+            {**_topology_subject(survivor), "claim": "routing-acyclicity",
+             "scheme": scheme.value, **fault_extra},
+            counterexample={"kind": "no-links", "links": 0},
+        )
+    if len(components) == 1 and len(components[0]) == survivor.num_nodes:
+        # Fully connected: certify the survivor directly (coordinates and
+        # router ids are preserved, so DOR stays instantiable).
+        return certify_routing(
+            survivor, routing,
+            subject_extra={"scheme": scheme.value, **fault_extra},
+        )
+    certs: List[Certificate] = []
+    for members in components:
+        comp = _component_compact(survivor, members)
+        comp_routing = (
+            _escape_routing_name(comp)
+            if scheme is Scheme.ESCAPE_VC else routing
+        )
+        cert = certify_routing(
+            comp, comp_routing, node_labels=members,
+            subject_extra={"scheme": scheme.value, **fault_extra},
+        )
+        if not cert.certified:
+            return cert
+        certs.append(cert)
+    subject = _topology_subject(survivor)
+    subject.update({
+        "claim": "routing-acyclicity",
+        "routing": routing,
+        "scheme": scheme.value,
+        "components": len(components),
+        **fault_extra,
+    })
+    proof = {
+        "method": "per-component-topological-link-order",
+        "components": len(components),
+        "component_roots": [members[0] for members in components],
+    }
+    return Certificate(CERTIFIED, subject, proof=proof)
+
+
+def _escape_routing_name(topology: Topology) -> str:
+    """The simulator's escape-VC routing selection, statically mirrored."""
+    try:
+        DimensionOrderRouting(FabricIndex(topology))
+    except ValueError:
+        return "updown"
+    return "dor"
+
+
+def _construct_drain_cover(
+    survivor: Topology,
+    method: str,
+    max_circuits: Optional[int],
+) -> Union[List[DrainPath], Certificate]:
+    """Build one drain cycle per surviving component, or a refutation."""
+    components = _component_members(survivor)
+    if not components:
+        subject = _topology_subject(survivor)
+        subject.update({"claim": "drain-coverage", "cycles": 0})
+        return Certificate(
+            REFUTED, subject,
+            counterexample={"kind": "no-links", "links": 0},
+        )
+    paths: List[DrainPath] = []
+    for members in components:
+        comp = _component_full(survivor, members)
+        try:
+            if method == "hawick-james":
+                paths.append(
+                    hawick_james_drain_path(comp, max_circuits=max_circuits)
+                )
+            elif method == "euler":
+                # start= skips the global connectivity precondition, which
+                # the isolated-node padding of full-numbering components
+                # would otherwise fail.
+                paths.append(euler_drain_path(comp, start=members[0]))
+            else:
+                raise ValueError(f"unknown drain-path method {method!r}")
+        except DrainPathError as exc:
+            subject = _topology_subject(survivor)
+            subject.update({"claim": "drain-coverage", "cycles": len(paths)})
+            counter = {"kind": "uncovered-links", "component": comp.name}
+            counter.update({k: v for k, v in exc.as_dict().items()
+                            if k != "message"})
+            return Certificate(REFUTED, subject, counterexample=counter)
+    return paths

@@ -1,0 +1,159 @@
+"""Static pre-flight validation of trial specs (harness gate).
+
+The parallel harness ships :class:`~repro.harness.trials.TrialSpec` objects
+to worker processes and memoizes their results by content digest. A
+malformed spec — unknown runner, un-JSON-able parameter, disconnected
+topology, or a scheme whose deadlock-freedom claim is statically false —
+used to surface as a per-trial worker crash or, worse, a simulation that
+times out after minutes. The pre-flight gate runs the cheap static checks
+(and, where the scheme makes a static claim, the full
+:mod:`repro.analysis.certifier`) **before** any worker is spawned, so a
+broken sweep fails in milliseconds with the offending spec identified.
+
+Certification results are memoized per ``(topology, scheme)`` within the
+process: a 500-trial injection-rate sweep over one topology certifies the
+configuration exactly once.
+
+The gate is opt-out: ``Harness(preflight=False)`` or the CLI flag
+``--no-preflight`` skips it (e.g. for deliberately broken configurations
+under study, such as the paper's deadlock-probability experiments).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..core.config import Scheme
+from .certifier import CERTIFIED, Certificate, certify_configuration
+
+__all__ = ["PreflightError", "validate_spec", "clear_preflight_cache"]
+
+#: Schemes whose static claim pre-flight enforces. Reactive schemes
+#: (spin, static_bubble, none, ideal) make no static deadlock-freedom
+#: claim — their correctness is a runtime property — so refusing their
+#: specs statically would be wrong.
+_STATIC_SCHEMES = frozenset({Scheme.DRAIN, Scheme.UPDOWN, Scheme.ESCAPE_VC})
+
+_CERT_CACHE: Dict[Tuple[str, str], Certificate] = {}
+
+
+class PreflightError(ValueError):
+    """A trial spec failed static validation before submission.
+
+    ``digest`` identifies the offending spec; ``certificate`` carries the
+    refutation (with its concrete counterexample) when the failure came
+    from the configuration certifier rather than a structural check.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        digest: str = "",
+        certificate: Optional[Certificate] = None,
+    ) -> None:
+        super().__init__(message)
+        self.digest = digest
+        self.certificate = certificate
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"message": str(self), "digest": self.digest}
+        if self.certificate is not None:
+            out["certificate"] = self.certificate.as_dict()
+        return out
+
+
+def clear_preflight_cache() -> None:
+    """Drop memoized certificates (tests; topology-heavy long sessions)."""
+    _CERT_CACHE.clear()
+
+
+def _topology_key(topo_spec: Mapping[str, Any]) -> str:
+    return json.dumps(topo_spec, sort_keys=True, separators=(",", ":"))
+
+
+def validate_spec(spec: "Any") -> Optional[Certificate]:
+    """Statically validate one trial spec; raise :class:`PreflightError`.
+
+    Checks, cheapest first:
+
+    1. the runner is registered;
+    2. the params encode to canonical JSON (digest identity exists);
+    3. the spec pickles (it must cross the process boundary);
+    4. any embedded topology is connected;
+    5. for schemes with a static deadlock-freedom claim (drain, up*/down*,
+       escape-VC), the configuration certifier issues ``CERTIFIED`` on the
+       boot topology — memoized per (topology, scheme).
+
+    Returns the certificate when one was produced (step 5), else ``None``.
+    Fault-schedule trials are certified on the *boot* topology only: the
+    post-fault configuration is re-certified online by the recovery engine,
+    which is exactly the mechanism under test.
+    """
+    from ..harness.trials import RUNNERS, TrialSpec, topology_from_spec
+
+    if not isinstance(spec, TrialSpec):
+        raise PreflightError(f"not a TrialSpec: {type(spec).__name__}")
+
+    if spec.runner not in RUNNERS:
+        raise PreflightError(
+            f"unknown trial runner {spec.runner!r}; registered: {sorted(RUNNERS)}"
+        )
+
+    try:
+        digest = spec.digest()
+    except (TypeError, ValueError) as exc:
+        raise PreflightError(
+            f"params are not canonically JSON-able ({exc}); TrialSpec params "
+            "must be numbers, strings, bools, lists and dicts"
+        ) from exc
+
+    try:
+        pickle.dumps(spec)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise PreflightError(
+            f"spec does not pickle ({exc}); it cannot cross the worker "
+            "process boundary",
+            digest=digest,
+        ) from exc
+
+    params = spec.params
+    topo_spec = params.get("topology") if isinstance(params, Mapping) else None
+    if topo_spec is None:
+        return None
+
+    topology = topology_from_spec(topo_spec)
+    if not topology.is_connected():
+        raise PreflightError(
+            f"topology {topology.name!r} is not connected; every trial "
+            "assumes all-pairs reachability at boot",
+            digest=digest,
+        )
+
+    config = params.get("config")
+    scheme_value = config.get("scheme") if isinstance(config, Mapping) else None
+    if scheme_value is None:
+        return None
+    try:
+        scheme = Scheme(scheme_value)
+    except ValueError as exc:
+        raise PreflightError(
+            f"unknown scheme {scheme_value!r} in trial config", digest=digest
+        ) from exc
+    if scheme not in _STATIC_SCHEMES:
+        return None
+
+    cache_key = (_topology_key(topo_spec), scheme.value)
+    certificate = _CERT_CACHE.get(cache_key)
+    if certificate is None:
+        certificate = certify_configuration(topology, scheme=scheme)
+        _CERT_CACHE[cache_key] = certificate
+    if certificate.verdict != CERTIFIED:
+        raise PreflightError(
+            f"configuration refuted for scheme {scheme.value!r} on "
+            f"{topology.name!r}: {certificate.summary()}",
+            digest=digest,
+            certificate=certificate,
+        )
+    return certificate

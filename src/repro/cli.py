@@ -15,7 +15,14 @@ Subcommands:
   into one simulation and write the recovery curve (windowed throughput /
   latency / loss around each fault) as a JSON artefact;
 - ``repro-drain drainpath`` — run the offline algorithm on a topology and
-  print the resulting drain path / turn-table summary.
+  print the resulting drain path / turn-table summary;
+- ``repro-drain check`` — statically certify (or refute) a configuration's
+  deadlock-freedom claim: drain-cycle coverage for the DRAIN scheme,
+  dependency-graph acyclicity for turn-restricted routing. Exit 0 on
+  ``CERTIFIED``, 1 on ``REFUTED`` (with a concrete counterexample), 2 on
+  bad input; ``--json`` emits the full certificate;
+- ``repro-drain lint`` — run the determinism lint pass (DET001-DET006)
+  over Python sources; exit 1 when findings exist.
 
 Topology specifiers: ``mesh:WxH``, ``torus:WxH``, ``ring:N``,
 ``smallworld:N+S``, ``randomregular:NdD``, ``chiplet:CxWxH``; append
@@ -32,9 +39,15 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from .analysis import (
+    ROUTING_NAMES,
+    certify_configuration,
+    certify_drain_cover,
+    lint_paths,
+)
 from .core.config import DrainConfig, NetworkConfig, Scheme, SimConfig
 from .core.simulator import Simulation
-from .drain.path import find_drain_path
+from .drain.path import DrainPathError, find_drain_path
 from .drain.turntable import build_turn_tables
 from .faults import FAULT_POLICIES, ONSET_DISTRIBUTIONS, FaultSchedule
 from .harness import (
@@ -152,7 +165,8 @@ def _build_harness(args: argparse.Namespace) -> Harness:
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)  # None -> default location
     return Harness(workers=args.workers, cache=cache,
-                   timeout=getattr(args, "timeout", None))
+                   timeout=getattr(args, "timeout", None),
+                   preflight=not getattr(args, "no_preflight", False))
 
 
 def _write_artefact(
@@ -406,7 +420,58 @@ def _cmd_drainpath(args: argparse.Namespace) -> int:
           f"{sum(len(t) for t in tables.values())} across "
           f"{len(tables)} routers")
     if args.show_path:
-        print("path:", " -> ".join(str(l) for l in path.links))
+        print("path:", " -> ".join(str(link) for link in path.links))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Statically certify or refute one configuration's deadlock claim."""
+    topo = parse_topology(args.topology, faults=args.faults, seed=args.seed)
+    scheme = Scheme(args.scheme)
+    routing = None if args.routing == "auto" else args.routing
+    schedule = None
+    if args.schedule:
+        data = json.loads(Path(args.schedule).read_text())
+        schedule = FaultSchedule.from_dict(data)
+    elif args.num_faults:
+        schedule = FaultSchedule.generate(
+            topo, args.num_faults, seed=args.seed,
+            window=(0, 1000), onset="uniform",
+        )
+
+    if args.omit_link and scheme is Scheme.DRAIN and routing is None:
+        # Deliberate-breakage knob: build the drain cover over a weakened
+        # topology, then certify it against the *real* one — the omitted
+        # links surface as the uncovered-link counterexample.
+        weakened = topo.copy()
+        for pair in args.omit_link:
+            a, b = (int(v) for v in pair.split("-"))
+            weakened.remove_edge(a, b)
+        cover = [find_drain_path(weakened, method=args.method)]
+        cert = certify_drain_cover(
+            topo, cover, subject_extra={"scheme": scheme.value,
+                                        "omitted_links": sorted(args.omit_link)},
+        )
+    else:
+        cert = certify_configuration(
+            topo, scheme=scheme, routing=routing, schedule=schedule,
+            method=args.method, max_circuits=args.max_circuits,
+        )
+    if args.json:
+        print(cert.to_json())
+    else:
+        print(cert.summary())
+    return 0 if cert.certified else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Determinism lint pass over Python sources (DET001-DET006)."""
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} determinism finding(s)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -433,6 +498,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--timeout", type=float, default=None,
                        help="per-trial wall-clock timeout in seconds; timed "
                             "out trials are retried on a fresh worker")
+        p.add_argument("--no-preflight", action="store_true",
+                       help="skip static pre-flight validation of trial "
+                            "specs (repro-drain check run per config)")
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artefact")
     p_exp.add_argument("name")
@@ -512,6 +580,44 @@ def build_parser() -> argparse.ArgumentParser:
                         default="euler")
     p_path.add_argument("--show-path", action="store_true")
 
+    p_check = sub.add_parser(
+        "check", help="statically certify or refute a configuration"
+    )
+    p_check.add_argument("--topology", default="mesh:8x8")
+    p_check.add_argument("--faults", type=int, default=0,
+                         help="remove K random links before certification")
+    p_check.add_argument("--seed", type=int, default=1)
+    p_check.add_argument("--scheme", default="drain",
+                         choices=[s.value for s in Scheme])
+    p_check.add_argument("--routing", default="auto",
+                         choices=("auto",) + ROUTING_NAMES,
+                         help="routing function to certify (auto = the "
+                              "scheme's own static claim)")
+    p_check.add_argument("--method", choices=("euler", "hawick-james"),
+                         default="euler",
+                         help="drain-cover construction engine")
+    p_check.add_argument("--max-circuits", type=int, default=None,
+                         help="hawick-james circuit budget")
+    p_check.add_argument("--schedule", default=None,
+                         help="JSON fault-schedule file; certification runs "
+                              "over the post-fault survivor")
+    p_check.add_argument("--num-faults", type=int, default=0,
+                         help="generate a seed-derived schedule of K faults")
+    p_check.add_argument("--omit-link", action="append", default=[],
+                         metavar="A-B",
+                         help="(drain) build the cover without this "
+                              "bidirectional link, then certify against the "
+                              "full topology — a deliberate-breakage demo; "
+                              "repeatable")
+    p_check.add_argument("--json", action="store_true",
+                         help="emit the full certificate as JSON")
+
+    p_lint = sub.add_parser(
+        "lint", help="determinism lint pass (DET001-DET006)"
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+
     return parser
 
 
@@ -524,9 +630,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "faults": _cmd_faults,
         "drainpath": _cmd_drainpath,
+        "check": _cmd_check,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)
+    except DrainPathError as exc:
+        # Structured payload: the offending link sets, deterministically
+        # sorted, as machine-readable JSON on stderr.
+        print(f"error: {exc}", file=sys.stderr)
+        print(json.dumps(exc.as_dict(), sort_keys=True), file=sys.stderr)
+        return 2
     except ValueError as exc:
         # Bad user input (malformed topology spec, unsatisfiable fault
         # schedule, invalid config value): one line, non-zero exit — not a

@@ -266,7 +266,6 @@ class Simulation:
             raise ValueError("warmup must be shorter than the run")
         fabric = self.fabric
         fabric.measure_from = fabric.cycle + warmup
-        start = fabric.cycle
         for _ in range(cycles):
             self.step()
             if self.traffic.done():

@@ -94,7 +94,8 @@ class DrainController:
                     self.turn_tables[router] = table
         #: Per-cycle drain-path port lists, each in cycle order.
         self.path_port_cycles: List[List[int]] = [
-            [index.link_id[l] for l in path.links] for path in self.paths
+            [index.link_id[link] for link in path.links]
+            for path in self.paths
         ]
         seen = set()
         for ports in self.path_port_cycles:

@@ -23,7 +23,7 @@ Two construction engines are provided:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..topology.dependency import DependencyGraph, build_dependency_graph
 from ..topology.graph import Link, Topology
@@ -48,6 +48,12 @@ class DrainPathError(ValueError):
 
     ``missing``: links of the topology the path fails to cover.
     ``extra``: links on the path that do not exist in the topology.
+
+    Both are **sorted tuples**, never sets: the payload feeds CLI error
+    output, fault-injector recompute records and static-certifier
+    counterexamples, all of which must serialize byte-identically across
+    runs and interpreters (set iteration order is not stable across
+    ``PYTHONHASHSEED`` values).
     """
 
     def __init__(
@@ -57,8 +63,16 @@ class DrainPathError(ValueError):
         extra: Sequence[Link] = (),
     ) -> None:
         super().__init__(message)
-        self.missing: List[Link] = sorted(missing)
-        self.extra: List[Link] = sorted(extra)
+        self.missing: Tuple[Link, ...] = tuple(sorted(missing))
+        self.extra: Tuple[Link, ...] = tuple(sorted(extra))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic JSON-able payload (sorted ``[src, dst]`` pairs)."""
+        return {
+            "message": str(self),
+            "missing": [[link.src, link.dst] for link in self.missing],
+            "extra": [[link.src, link.dst] for link in self.extra],
+        }
 
 
 class DrainPath:

@@ -65,7 +65,7 @@ def _wedged_ring_fabric(scheme: Scheme):
         for direction in (+1, -1):
             nxt = (i + direction) % 4
             link = index.link_id[next(
-                l for l in topo.links_out_of(i) if l.dst == nxt
+                out for out in topo.links_out_of(i) if out.dst == nxt
             )]
             packet = Packet(pid, i, (i + 2) % 4, MessageClass.REQ)
             packet.blocked_since = 0

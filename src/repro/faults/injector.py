@@ -228,13 +228,15 @@ class FaultInjector:
                 "components": result.components,
                 "covered_links": result.covered_links,
             }
-        except DrainPathError:
+        except DrainPathError as exc:
             # Faults left no drainable links at all (every router isolated):
             # drain windows become no-ops until a transient repair restores
-            # an edge.
+            # an edge. The error's sorted link payload goes into the journal
+            # record so the failure is diagnosable (and byte-stable) offline.
             paths = []
             meta = {"engine": "none", "engines": [], "components": 0,
-                    "covered_links": 0}
+                    "covered_links": 0,
+                    "uncovered": exc.as_dict()["missing"]}
         sim.drain_controller.install_paths(paths)
         sim.drain_controller.reinstalls += 1
         sim.stats.drain_recomputes += 1

@@ -189,6 +189,7 @@ class Harness:
         max_retries: int = 2,
         retry_backoff: float = 0.25,
         journal: Optional[SweepJournal] = None,
+        preflight: bool = True,
     ) -> None:
         if workers is None:
             workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
@@ -204,6 +205,7 @@ class Harness:
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.journal = journal
+        self.preflight = preflight
         self.records: List[TrialRecord] = []
         self.cache_hits = 0
         self.cache_misses = 0
@@ -215,10 +217,25 @@ class Harness:
         specs: Sequence[TrialSpec],
         label: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
-        """Execute *specs*; return their results in submission order."""
+        """Execute *specs*; return their results in submission order.
+
+        Unless constructed with ``preflight=False``, every spec is first
+        statically validated (:func:`repro.analysis.preflight.
+        validate_spec`) so malformed sweeps fail before any worker spawns
+        — a :class:`~repro.analysis.preflight.PreflightError` names the
+        offending spec and, for refuted configurations, carries the
+        certifier's concrete counterexample.
+        """
         specs = list(specs)
         if not specs:
             return []
+        if self.preflight:
+            # Imported lazily: repro.analysis imports harness.trials, so a
+            # module-level import here would cycle during package init.
+            from ..analysis.preflight import validate_spec
+
+            for spec in specs:
+                validate_spec(spec)
         digests = [spec.digest() for spec in specs]
         results: List[Optional[Dict[str, Any]]] = [None] * len(specs)
         records: List[Optional[TrialRecord]] = [None] * len(specs)

@@ -33,7 +33,7 @@ import hashlib
 import json
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from ..core.config import SimConfig
 from ..core.configio import config_from_dict, config_to_dict

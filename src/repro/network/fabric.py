@@ -185,26 +185,30 @@ class Fabric:
         """
         mode = self.escape_mode
         if mode is None:
-            return [[(l, 0) for l in self.routing.candidates(router, packet)]]
+            return [[(link, 0)
+                     for link in self.routing.candidates(router, packet)]]
         if mode == "drain":
             links = self.routing.candidates(router, packet)
             if packet.in_escape:
-                return [[(l, 2) for l in links]]
+                return [[(link, 2) for link in links]]
             if self.vcs_per_vn == 1:
                 # Degenerate config: the only VC is the escape VC.
-                return [[(l, 2) for l in links]]
-            return [[(l, 3) for l in links], [(l, 2) for l in links]]
+                return [[(link, 2) for link in links]]
+            return [[(link, 3) for link in links],
+                    [(link, 2) for link in links]]
         # escape_vc
         if packet.in_escape:
             return [
-                [(l, 2) for l in self.escape_routing.candidates(router, packet)]
+                [(link, 2)
+                 for link in self.escape_routing.candidates(router, packet)]
             ]
-        cands = [(l, 4) for l in self.routing.candidates(router, packet)]
+        cands = [(link, 4)
+                 for link in self.routing.candidates(router, packet)]
         if self.vcs_per_vn == 1:
             # Degenerate config: the only VC is the escape VC.
             cands = []
-        for l in self.escape_routing.candidates(router, packet):
-            cands.append((l, 2))
+        for link in self.escape_routing.candidates(router, packet):
+            cands.append((link, 2))
         return [cands]
 
     def _pick_vc(self, port: int, vn: int, vc_mode: int, claimed) -> int:
@@ -420,7 +424,6 @@ class Fabric:
         buf = self.buf
         index = self.index
         stats = self.stats
-        dist = index.dist
         cycle = self.cycle
         if moves or ejects:
             self.last_progress_cycle = cycle

@@ -28,10 +28,14 @@ class FabricIndex:
         self.links: List[Link] = topology.unidirectional_links()
         self.num_links = len(self.links)
         self.num_nodes = topology.num_nodes
-        self.link_id: Dict[Link, int] = {l: i for i, l in enumerate(self.links)}
-        self.link_src: List[int] = [l.src for l in self.links]
-        self.link_dst: List[int] = [l.dst for l in self.links]
-        self.link_reverse: List[int] = [self.link_id[l.reverse] for l in self.links]
+        self.link_id: Dict[Link, int] = {
+            link: i for i, link in enumerate(self.links)
+        }
+        self.link_src: List[int] = [link.src for link in self.links]
+        self.link_dst: List[int] = [link.dst for link in self.links]
+        self.link_reverse: List[int] = [
+            self.link_id[link.reverse] for link in self.links
+        ]
 
         # Per-router port lists. Input ports of router r are the links ending
         # at r plus its injection port; output ports are the links leaving r.

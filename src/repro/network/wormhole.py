@@ -143,10 +143,11 @@ class WormholeFabric:
         """Output-link priority groups (mirrors the VCT fabric's policy)."""
         links = self.routing.candidates(router, packet)
         if self.escape_mode is None:
-            return [[(l, 0) for l in links]]
+            return [[(link, 0) for link in links]]
         if self.vcs_per_vn == 1:
-            return [[(l, 2) for l in links]]
-        return [[(l, 3) for l in links], [(l, 2) for l in links]]
+            return [[(link, 2) for link in links]]
+        return [[(link, 3) for link in links],
+                [(link, 2) for link in links]]
 
     def _pick_target_vc(self, link: int, vn: int, vc_mode: int) -> int:
         """A downstream VC the head may claim: empty and not being written."""

@@ -27,6 +27,12 @@ class RoutingFunction(ABC):
     #: scheme layer to decide whether an escape mechanism is required).
     deadlock_free: bool = False
 
+    #: True when candidates depend on per-packet routing state beyond the
+    #: destination (up*/down*'s phase bit). The static certifier
+    #: (:mod:`repro.analysis.certifier`) enumerates both phases for
+    #: stateful functions when building the channel-dependency graph.
+    stateful: bool = False
+
     @abstractmethod
     def candidates(self, router: int, packet: Packet) -> List[int]:
         """Output link ids *packet* may take from *router* (dst != router)."""
@@ -51,3 +57,27 @@ class RoutingFunction(ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not support online fault recovery"
         )
+
+    # ------------------------------------------------------------------
+    # Static-analysis hooks (repro.analysis.certifier)
+    # ------------------------------------------------------------------
+    def route_candidates(
+        self, router: int, dst: int, up_phase: bool = True
+    ) -> List[int]:
+        """Candidates for an explicit (router, destination, phase) query.
+
+        The certifier interrogates routing tables without live packets; a
+        throwaway probe packet carries the destination and — for stateful
+        functions — the phase bit. Requires ``router != dst``.
+        """
+        probe = Packet(-1, router, dst)
+        probe.updown_up_phase = up_phase
+        return self.candidates(router, probe)
+
+    def arrival_phase(self, link_id: int, up_phase: bool) -> bool:
+        """Phase a packet is in after traversing *link_id*.
+
+        Mirrors :meth:`on_hop` for the certifier's dependency-graph
+        construction. Stateless functions keep the phase unchanged.
+        """
+        return up_phase

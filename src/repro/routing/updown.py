@@ -29,6 +29,7 @@ class UpDownRouting(RoutingFunction):
     """Adaptive shortest-path up*/down* routing over an arbitrary topology."""
 
     deadlock_free = True
+    stateful = True  # candidates depend on the packet's up/down phase bit
 
     def __init__(self, index: FabricIndex, root: int = 0,
                  deterministic: bool = False) -> None:
@@ -163,6 +164,15 @@ class UpDownRouting(RoutingFunction):
         if self.deterministic and links:
             return [min(links)]
         return links
+
+    def arrival_phase(self, link_id: int, up_phase: bool) -> bool:
+        """A packet stays in the up phase only while traversing up links.
+
+        Up links are legal from the up phase alone, so the phase after a
+        legal traversal of *link_id* is fully determined by its class —
+        the static-certifier analogue of :meth:`on_hop`.
+        """
+        return up_phase and bool(self.link_is_up[link_id])
 
     # ------------------------------------------------------------------
     # Analysis hooks

@@ -6,11 +6,19 @@ are the turns between consecutive links: there is an edge ``l -> m`` when a
 packet arriving on link ``l`` can depart on link ``m``, i.e. when
 ``l.dst == m.src``. Per assumption 3 of the paper, *every* turn is allowed,
 including the U-turn ``l -> l.reverse``.
+
+A *restricted* view of the same graph — only the turns some routing
+function actually permits — is what deadlock-freedom proofs live on: the
+routing function is deadlock-free iff its restricted turn graph is acyclic
+(Dally-Seitz). :meth:`DependencyGraph.restricted_adjacency` produces that
+subgraph in the adjacency-list shape consumed by the static certifier's
+:func:`~repro.analysis.certifier.topological_link_order` and
+:func:`~repro.analysis.certifier.find_turn_cycle`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List
 
 from .graph import Link, Topology
 
@@ -57,6 +65,24 @@ class DependencyGraph:
         index = self.index_of()
         return [
             sorted(index[m] for m in self._successors[link]) for link in self.links
+        ]
+
+    def restricted_adjacency(
+        self, allowed: Callable[[Link, Link], bool]
+    ) -> List[List[int]]:
+        """Successor lists keeping only turns where ``allowed(l, m)`` holds.
+
+        The result is the restricted channel-dependency graph of a routing
+        discipline expressed as a turn predicate — e.g. up*/down*'s "no
+        down->up" rule — in the adjacency shape the static certifier's
+        acyclicity checkers consume directly.
+        """
+        index = self.index_of()
+        return [
+            sorted(
+                index[m] for m in self._successors[link] if allowed(link, m)
+            )
+            for link in self.links
         ]
 
 

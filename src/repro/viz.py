@@ -65,7 +65,7 @@ def render_drain_path(path: DrainPath, per_line: int = 8) -> str:
     links = path.links
     for start in range(0, len(links), per_line):
         chunk = links[start:start + per_line]
-        hops = " ".join(f"{l.src}->{l.dst}" for l in chunk)
+        hops = " ".join(f"{link.src}->{link.dst}" for link in chunk)
         chunks.append(f"[{start:4d}] {hops}")
     return "\n".join(chunks)
 
