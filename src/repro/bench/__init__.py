@@ -1,0 +1,33 @@
+"""Deterministic performance benchmarks and the non-regression guard.
+
+``repro.bench`` packages three things:
+
+- :mod:`repro.bench.cases` — fixed-seed microbenchmarks (movement kernel,
+  injection, drain stepping, fault-recovery recompute) plus end-to-end
+  fig10/fig11 trial timings and a pure-Python calibration loop;
+- :mod:`repro.bench.runner` — runs a case list and emits a
+  ``BENCH_<stamp>.json`` report (per-case wall time, cycles/sec, peak
+  RSS, config hash);
+- :mod:`repro.bench.compare` — compares two reports, normalising by the
+  calibration case so CI machines of different speeds share one
+  regression threshold.
+
+The CLI front end is ``repro-drain bench`` (see README, "Benchmarking").
+"""
+
+from .cases import BenchCase, CASES, case_names, resolve_cases
+from .compare import CompareResult, compare_reports, load_report
+from .runner import default_report_name, run_suite, write_report
+
+__all__ = [
+    "BenchCase",
+    "CASES",
+    "case_names",
+    "resolve_cases",
+    "CompareResult",
+    "compare_reports",
+    "load_report",
+    "default_report_name",
+    "run_suite",
+    "write_report",
+]

@@ -1,0 +1,264 @@
+"""Benchmark case definitions: deterministic, fixed-seed workloads.
+
+Every case is a :class:`BenchCase` whose ``setup()`` builds fresh state
+and returns the zero-argument thunk the runner times. Setup cost is
+excluded from the measurement; the thunk performs ``work_units`` units of
+work (simulated cycles for kernel/e2e cases, iterations otherwise), so
+``work_units / wall_time`` is the case's cycles-per-second figure.
+
+All cases draw randomness exclusively from fixed seeds through the
+repo's deterministic RNG helpers — two runs of a case execute the exact
+same instruction stream, so wall-time differences measure the kernel,
+not the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.config import Scheme
+from ..experiments import common
+from ..faults.recovery import recover_drain_paths
+from ..harness.trials import execute_trial
+from ..network.index import FabricIndex
+from ..router.packet import Packet
+from ..topology.mesh import make_mesh
+
+__all__ = ["BenchCase", "CASES", "case_names", "resolve_cases"]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One deterministic benchmark: a labelled, repeatable timed thunk."""
+
+    name: str
+    kind: str  # "micro" | "e2e" | "calibration"
+    #: Stable config descriptor; hashed into the report's config_hash so
+    #: compares can detect that a case's workload definition changed.
+    label: Tuple
+    work_units: int
+    setup: Callable[[], Callable[[], None]]
+
+
+# ----------------------------------------------------------------------
+# Calibration
+# ----------------------------------------------------------------------
+_CALIBRATION_ITERS = 2_000_000
+
+
+def _setup_calibration() -> Callable[[], None]:
+    def run() -> None:
+        lcg = 12345
+        for _ in range(_CALIBRATION_ITERS):
+            lcg = (lcg * 1103515245 + 12345) & 0x7FFFFFFF
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Microbenchmarks
+# ----------------------------------------------------------------------
+def _drain_sim(width: int, rate: float, scale: common.Scale, seed: int = 1):
+    """A DRAIN mesh simulation wired exactly like the harness trials."""
+    import random as _random
+
+    from ..core.rng import derive_seed
+    from ..core.simulator import Simulation
+    from ..traffic.synthetic import SyntheticTraffic, pattern_by_name
+
+    topology = make_mesh(width, width)
+    config = common.scheme_config(Scheme.DRAIN, scale, seed=seed)
+    traffic = SyntheticTraffic(
+        pattern_by_name("uniform_random", topology.num_nodes, width),
+        rate,
+        _random.Random(derive_seed(seed, "traffic", "uniform_random", rate)),
+    )
+    return Simulation(topology, config, traffic)
+
+
+_MOVEMENT_CYCLES = 1500
+
+
+def _setup_micro_movement() -> Callable[[], None]:
+    # Warm a DRAIN mesh to realistic occupancy, then time the bare fabric
+    # kernel (movement + injection stages) with traffic generation off.
+    sim = _drain_sim(8, 0.30, common.Scale.ci())
+    for _ in range(400):
+        sim.step()
+    fabric = sim.fabric
+
+    def run() -> None:
+        for _ in range(_MOVEMENT_CYCLES):
+            fabric.step()
+
+    return run
+
+
+_INJECTION_CYCLES = 400
+
+
+def _setup_micro_injection() -> Callable[[], None]:
+    # Pre-fill every NI injection queue, then time fabric stepping: the
+    # early cycles are injection-allocation bound.
+    sim = _drain_sim(4, 0.0, common.Scale.ci())
+    fabric = sim.fabric
+    n = fabric.index.num_nodes
+    pid = 0
+    for node in range(n):
+        for k in range(1, 9):
+            dst = (node + k * 5) % n
+            if dst == node:
+                dst = (dst + 1) % n
+            if not fabric.offer_packet(Packet(pid, node, dst, gen_cycle=0)):
+                break
+            pid += 1
+
+    def run() -> None:
+        for _ in range(_INJECTION_CYCLES):
+            fabric.step()
+
+    return run
+
+
+_DRAIN_STEP_CYCLES = 1200
+
+
+def _setup_micro_drain_step() -> Callable[[], None]:
+    # Frequent drain windows: a short epoch forces the controller state
+    # machine and escape rotation to run every few dozen cycles.
+    from dataclasses import replace
+
+    scale = replace(common.Scale.ci(), epoch=64)
+    sim = _drain_sim(8, 0.05, scale)
+
+    def run() -> None:
+        for _ in range(_DRAIN_STEP_CYCLES):
+            sim.step()
+
+    return run
+
+
+_FAULT_RECOVERY_ROUNDS = 12
+
+
+def _setup_micro_fault_recovery() -> Callable[[], None]:
+    # Progressive link deaths: each round applies a cumulative fault set
+    # (distance recompute) and re-covers the survivors with drain cycles.
+    index = FabricIndex(make_mesh(8, 8))
+    pairs = [i for i in range(index.num_links) if i < index.link_reverse[i]]
+
+    def run() -> None:
+        dead: set = set()
+        for k in range(_FAULT_RECOVERY_ROUNDS):
+            link = pairs[(k * 7) % len(pairs)]
+            dead.add(link)
+            dead.add(index.link_reverse[link])
+            index.apply_faults(set(dead), set())
+            recover_drain_paths(index)
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# End-to-end trial timings (fig11 low-load / fig10 saturation points)
+# ----------------------------------------------------------------------
+def _setup_e2e(rate: float) -> Callable[[], None]:
+    scale = common.Scale.ci()
+    spec = common.synthetic_trial_for(
+        make_mesh(8, 8), Scheme.DRAIN, rate, scale,
+        pattern="uniform_random", mesh_width=8, seed=1,
+    )
+
+    def run() -> None:
+        execute_trial(spec)
+
+    return run
+
+
+_E2E_CYCLES = common.Scale.ci().total_cycles
+
+
+CASES: Dict[str, BenchCase] = {
+    case.name: case
+    for case in [
+        BenchCase(
+            name="calibration_lcg",
+            kind="calibration",
+            label=("calibration_lcg", _CALIBRATION_ITERS),
+            work_units=_CALIBRATION_ITERS,
+            setup=_setup_calibration,
+        ),
+        BenchCase(
+            name="micro_movement",
+            kind="micro",
+            label=("micro_movement", "mesh8x8", "drain", 0.30, 400,
+                   _MOVEMENT_CYCLES),
+            work_units=_MOVEMENT_CYCLES,
+            setup=_setup_micro_movement,
+        ),
+        BenchCase(
+            name="micro_injection",
+            kind="micro",
+            label=("micro_injection", "mesh4x4", "drain", 8,
+                   _INJECTION_CYCLES),
+            work_units=_INJECTION_CYCLES,
+            setup=_setup_micro_injection,
+        ),
+        BenchCase(
+            name="micro_drain_step",
+            kind="micro",
+            label=("micro_drain_step", "mesh8x8", "drain", 0.05, 64,
+                   _DRAIN_STEP_CYCLES),
+            work_units=_DRAIN_STEP_CYCLES,
+            setup=_setup_micro_drain_step,
+        ),
+        BenchCase(
+            name="micro_fault_recovery",
+            kind="micro",
+            label=("micro_fault_recovery", "mesh8x8",
+                   _FAULT_RECOVERY_ROUNDS),
+            work_units=_FAULT_RECOVERY_ROUNDS,
+            setup=_setup_micro_fault_recovery,
+        ),
+        BenchCase(
+            name="e2e_fig11_low_load_mesh",
+            kind="e2e",
+            label=("e2e_fig11_low_load_mesh", "mesh8x8", "drain", 0.02,
+                   "ci", 1),
+            work_units=_E2E_CYCLES,
+            setup=lambda: _setup_e2e(0.02),
+        ),
+        BenchCase(
+            name="e2e_fig10_saturation_mesh",
+            kind="e2e",
+            label=("e2e_fig10_saturation_mesh", "mesh8x8", "drain", 0.19,
+                   "ci", 1),
+            work_units=_E2E_CYCLES,
+            setup=lambda: _setup_e2e(0.19),
+        ),
+    ]
+}
+
+
+def case_names() -> List[str]:
+    return list(CASES)
+
+
+def resolve_cases(names: Optional[List[str]]) -> List[BenchCase]:
+    """Map user-supplied case names to cases; None selects the full suite.
+
+    The calibration case is always included — compares need it for
+    cross-machine normalisation.
+    """
+    if names is None:
+        return list(CASES.values())
+    unknown = [n for n in names if n not in CASES]
+    if unknown:
+        raise ValueError(
+            f"unknown bench case(s) {unknown}; choose from {case_names()}"
+        )
+    selected = list(dict.fromkeys(names))
+    if "calibration_lcg" not in selected:
+        selected.insert(0, "calibration_lcg")
+    return [CASES[n] for n in selected]

@@ -1,0 +1,101 @@
+"""Report comparison: the CI non-regression guard.
+
+``compare_reports(base, new)`` checks every case present in the baseline
+against the new report. Raw wall times are not portable across machines,
+so times are first normalised by the ``calibration_lcg`` case — a pure
+Python loop whose speed tracks the interpreter/CPU combination but not
+the simulator — and only then held to the tolerance (default: 25%
+slower than baseline fails).
+
+A case whose ``config_hash`` changed between reports is skipped with a
+note instead of judged: its workload definition changed, so its times
+are not comparable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+__all__ = ["CompareResult", "compare_reports", "load_report"]
+
+CALIBRATION_CASE = "calibration_lcg"
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass
+class CompareResult:
+    """Outcome of one report comparison."""
+
+    lines: List[str] = field(default_factory=list)
+    regressions: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def load_report(path: Path) -> Dict:
+    report = json.loads(Path(path).read_text())
+    if not isinstance(report, dict) or "cases" not in report:
+        raise ValueError(f"{path} is not a bench report (no 'cases' key)")
+    return report
+
+
+def _case_map(report: Dict) -> Dict[str, Dict]:
+    return {case["name"]: case for case in report.get("cases", [])}
+
+
+def compare_reports(
+    base: Dict, new: Dict, tolerance: float = DEFAULT_TOLERANCE
+) -> CompareResult:
+    """Judge *new* against *base*; any regressed or missing case fails."""
+    result = CompareResult()
+    base_cases = _case_map(base)
+    new_cases = _case_map(new)
+
+    scale = 1.0
+    base_cal = base_cases.get(CALIBRATION_CASE)
+    new_cal = new_cases.get(CALIBRATION_CASE)
+    if base_cal and new_cal and base_cal["wall_time_s"] > 0:
+        scale = new_cal["wall_time_s"] / base_cal["wall_time_s"]
+        result.lines.append(
+            f"calibration scale: {scale:.3f} "
+            f"(new machine runs {'slower' if scale > 1 else 'faster'})"
+        )
+    else:
+        result.lines.append(
+            "calibration case missing from a report; comparing raw times"
+        )
+
+    for name, base_case in base_cases.items():
+        if name == CALIBRATION_CASE:
+            continue
+        new_case = new_cases.get(name)
+        if new_case is None:
+            result.regressions.append(name)
+            result.lines.append(f"MISSING  {name}: not present in new report")
+            continue
+        if base_case.get("config_hash") != new_case.get("config_hash"):
+            result.skipped.append(name)
+            result.lines.append(
+                f"SKIP     {name}: workload definition changed "
+                "(config_hash differs)"
+            )
+            continue
+        allowed = base_case["wall_time_s"] * scale * (1.0 + tolerance)
+        actual = new_case["wall_time_s"]
+        ratio = actual / (base_case["wall_time_s"] * scale) \
+            if base_case["wall_time_s"] > 0 else float("inf")
+        verdict = "OK      " if actual <= allowed else "REGRESS "
+        result.lines.append(
+            f"{verdict} {name}: {actual:.3f}s vs "
+            f"{base_case['wall_time_s']:.3f}s base "
+            f"(normalised x{ratio:.2f}, limit x{1.0 + tolerance:.2f})"
+        )
+        if actual > allowed:
+            result.regressions.append(name)
+    return result

@@ -22,7 +22,15 @@ Subcommands:
   ``CERTIFIED``, 1 on ``REFUTED`` (with a concrete counterexample), 2 on
   bad input; ``--json`` emits the full certificate;
 - ``repro-drain lint`` — run the determinism lint pass (DET001-DET006)
-  over Python sources; exit 1 when findings exist.
+  over Python sources; exit 1 when findings exist;
+- ``repro-drain bench`` — run the deterministic benchmark suite and write
+  a ``BENCH_<stamp>.json`` report, or ``--compare A.json B.json`` to
+  judge a new report against a baseline (exit 1 on regression) — the CI
+  non-regression guard.
+
+``repro-drain run``/``sweep`` accept ``--profile`` to wrap the work in
+``cProfile`` and write ``.prof`` + top-25 cumulative text next to the run
+artefacts.
 
 Topology specifiers: ``mesh:WxH``, ``torus:WxH``, ``ring:N``,
 ``smallworld:N+S``, ``randomregular:NdD``, ``chiplet:CxWxH``; append
@@ -224,6 +232,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_profile(profiler, name: str, directory: Optional[str]) -> None:
+    """Dump ``<name>.prof`` plus a top-25 cumulative text summary."""
+    import io
+    import pstats
+
+    target = Path(directory) if directory else Path.cwd()
+    target.mkdir(parents=True, exist_ok=True)
+    prof_path = target / f"{name}.prof"
+    profiler.dump_stats(str(prof_path))
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(25)
+    txt_path = target / f"{name}.profile.txt"
+    txt_path.write_text(buf.getvalue())
+    print(f"wrote {prof_path} and {txt_path}", file=sys.stderr)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """Generic parallel sweep: schemes × seeds × rates on one topology."""
     topo = parse_topology(args.topology, faults=args.faults, seed=args.seed)
@@ -245,6 +269,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     mesh_width = None
     if args.topology.startswith("mesh:"):
         mesh_width = int(args.topology.split(":")[1].split("x")[0])
+    if args.profile:
+        # Profiling across worker processes is meaningless; keep the
+        # trials in-process so cProfile sees the simulator frames.
+        args.workers = 1
     harness = _build_harness(args)
 
     specs = []
@@ -259,7 +287,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     )
                 )
                 keys.append((scheme, seed, rate))
-    results = harness.run(specs, label="sweep")
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        results = harness.run(specs, label="sweep")
+        profiler.disable()
+        profile_name = f"sweep_{topo.name}_{args.pattern}".replace(":", "_")
+        _write_profile(profiler, profile_name, args.out_dir)
+    else:
+        results = harness.run(specs, label="sweep")
 
     rows = [
         {
@@ -310,7 +348,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         random.Random(args.seed),
     )
     sim = Simulation(topo, config, traffic, flow_control=args.flow_control)
-    stats = sim.run(args.cycles, warmup=args.warmup)
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        stats = sim.run(args.cycles, warmup=args.warmup)
+        profiler.disable()
+        profile_name = f"run_{topo.name}_{scheme.value}".replace(":", "_")
+        _write_profile(profiler, profile_name, None)
+    else:
+        stats = sim.run(args.cycles, warmup=args.warmup)
     if args.report:
         from .core.report import run_report
 
@@ -464,6 +512,34 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if cert.certified else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark suite, or compare two reports (CI guard)."""
+    from . import bench
+
+    if args.compare:
+        base = bench.load_report(Path(args.compare[0]))
+        new = bench.load_report(Path(args.compare[1]))
+        result = bench.compare_reports(base, new, tolerance=args.tolerance)
+        for line in result.lines:
+            print(line)
+        if result.regressions:
+            print(
+                f"{len(result.regressions)} case(s) regressed beyond "
+                f"{args.tolerance:.0%}: {', '.join(result.regressions)}",
+                file=sys.stderr,
+            )
+            return 1
+        print("no regressions")
+        return 0
+    names = [n for n in args.cases.split(",") if n] if args.cases else None
+    print(f"running bench suite (repeat={args.repeat}) ...")
+    report = bench.run_suite(names, repeat=args.repeat, log=print)
+    out = Path(args.out) if args.out else Path.cwd() / bench.default_report_name()
+    bench.write_report(report, out)
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Determinism lint pass over Python sources (DET001-DET006)."""
     findings = lint_paths(args.paths)
@@ -523,6 +599,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seeds", type=int, default=1,
                          help="number of seeds per (scheme, rate)")
     p_sweep.add_argument("--scale", choices=("ci", "full"), default="ci")
+    p_sweep.add_argument("--profile", action="store_true",
+                         help="wrap the sweep in cProfile (forces "
+                              "--workers 1) and write .prof + top-25 "
+                              "cumulative text next to the run artefacts")
     add_harness_flags(p_sweep)
 
     p_run = sub.add_parser("run", help="run a single simulation")
@@ -545,6 +625,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="VCT link-serialisation length in flits")
     p_run.add_argument("--report", action="store_true",
                        help="print a full run report (gem5 stats.txt style)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="wrap the run in cProfile and write .prof + "
+                            "top-25 cumulative text in the cwd")
 
     p_faults = sub.add_parser(
         "faults", help="fault-injected run with online drain recovery"
@@ -612,6 +695,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--json", action="store_true",
                          help="emit the full certificate as JSON")
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="deterministic performance benchmarks + regression compare",
+    )
+    p_bench.add_argument("--cases", default="",
+                         help="comma-separated case names (default: the "
+                              "full suite; calibration always included)")
+    p_bench.add_argument("--repeat", type=int, default=3,
+                         help="timing repeats per case; best wall time wins")
+    p_bench.add_argument("--out", default=None,
+                         help="report path (default: BENCH_<stamp>.json "
+                              "in the current directory)")
+    p_bench.add_argument("--compare", nargs=2, metavar=("BASE", "NEW"),
+                         default=None,
+                         help="compare two reports instead of running; "
+                              "exit 1 when any case regresses")
+    p_bench.add_argument("--tolerance", type=float, default=0.25,
+                         help="allowed slowdown vs baseline after "
+                              "calibration normalisation (default 0.25)")
+
     p_lint = sub.add_parser(
         "lint", help="determinism lint pass (DET001-DET006)"
     )
@@ -631,6 +734,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": _cmd_faults,
         "drainpath": _cmd_drainpath,
         "check": _cmd_check,
+        "bench": _cmd_bench,
         "lint": _cmd_lint,
     }
     try:

@@ -20,7 +20,12 @@ from typing import Optional
 
 from ..drain.controller import DrainController
 from ..drain.path import DrainPath
-from ..network.deadlock import extract_cycle, find_deadlocked_slots, rotate_cycle
+from ..network.deadlock import (
+    WaitForGraph,
+    extract_cycle,
+    find_deadlocked_slots,
+    rotate_cycle,
+)
 from ..network.fabric import Fabric
 from ..network.index import FabricIndex
 from ..network.spin import SpinController
@@ -55,16 +60,23 @@ class IdealResolver:
             return
         # Resolve aggressively: the bound must never be deadlock-limited,
         # even deep past saturation. Each pass rotates one resource cycle;
-        # rotation changes the wait-for graph, so re-extract until clean.
+        # a rotation permutes the occupants of exactly the rotated slots,
+        # so the wait-for graph is built once and only those slots are
+        # re-derived between passes (dense mode keeps the full rebuild as
+        # the parity reference).
+        graph: Optional[WaitForGraph] = None
         for _ in range(256):  # safety bound
-            deadlocked = find_deadlocked_slots(fabric)
+            if graph is None or getattr(fabric, "dense", False):
+                graph = WaitForGraph(fabric)
+            deadlocked = graph.deadlocked()
             if not deadlocked:
                 return
-            cycle = extract_cycle(fabric, deadlocked)
+            cycle = extract_cycle(fabric, deadlocked, graph=graph)
             if cycle is None:
                 return
             fabric.stats.deadlock_events += 1
             rotate_cycle(fabric, cycle, forced_kind="ideal")
+            graph.refresh_slots(cycle)
 
 
 class DeadlockWatchdog:
@@ -119,6 +131,7 @@ class Simulation:
         fault_policy: str = "drop_retransmit",
         fault_curve_window: int = 0,
         fault_max_circuits: int = 512,
+        dense: bool = False,
     ) -> None:
         if flow_control not in ("vct", "wormhole"):
             raise ValueError("flow_control must be 'vct' or 'wormhole'")
@@ -176,6 +189,7 @@ class Simulation:
                 flits_per_packet=flits_per_packet,
                 stats=self.stats,
                 rng=rng_mod.spawn(config.seed, "fabric"),
+                dense=dense,
             )
         else:
             self.fabric = Fabric(
@@ -186,6 +200,7 @@ class Simulation:
                 escape_routing=escape_routing,
                 stats=self.stats,
                 rng=rng_mod.spawn(config.seed, "fabric"),
+                dense=dense,
             )
 
         self.drain_controller: Optional[DrainController] = None

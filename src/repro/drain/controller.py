@@ -103,6 +103,9 @@ class DrainController:
                 if port in seen:
                     raise ValueError("drain cycles share a link")
                 seen.add(port)
+        # Path (re)installation accompanies routing-table changes during
+        # online recovery; drop any memoized candidate groups.
+        self.fabric.invalidate_routing_cache()
         if self._state != "normal":
             # Reinstalling mid-window (a fault landed inside a drain): the
             # remaining rotations use the new cycles; clamp the full-drain

@@ -204,6 +204,7 @@ class FaultInjector:
         fabric.routing.rebuild()
         if fabric.escape_routing is not None:
             fabric.escape_routing.rebuild()
+        fabric.invalidate_routing_cache()
         dropped = list(dropped)
         dropped.extend(fabric.fault_drop_unroutable())
         if sim.drain_controller is not None:

@@ -127,9 +127,14 @@ class BubbleFlowFabric(Fabric):
 
     def _ring_free_slots(self, ring: Tuple[str, int, int], vn: int) -> int:
         free = 0
+        flat = self._buf
+        stride = self._port_stride
+        vcs = self.vcs_per_vn
+        offset = vn * vcs
         for link in self.ring_links[ring]:
-            for slot in self.buf[link][vn]:
-                if slot is None:
+            base = link * stride + offset
+            for i in range(vcs):
+                if flat[base + i] is None:
                     free += 1
         return free
 

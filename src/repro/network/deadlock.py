@@ -2,12 +2,15 @@
 
 Two tools live here:
 
-- :func:`find_deadlocked_slots` — an exact OR-request-model fixpoint: a
-  buffered packet *can eventually move* if it can eject, or if any of its
-  candidate downstream VCs is free, or is occupied by a packet that can
-  eventually move. Everything else is deadlocked. This is the measurement
-  oracle behind the Figure 3 study, the detection substrate of the SPIN
-  baseline, and the instant resolver of the IDEAL upper bound.
+- :class:`WaitForGraph` / :func:`find_deadlocked_slots` — an exact
+  OR-request-model fixpoint: a buffered packet *can eventually move* if it
+  can eject, or if any of its candidate downstream VCs is free, or is
+  occupied by a packet that can eventually move. Everything else is
+  deadlocked. This is the measurement oracle behind the Figure 3 study,
+  the detection substrate of the SPIN baseline, and the instant resolver
+  of the IDEAL upper bound. The graph object is reusable: callers that
+  rotate a cycle and re-check (the IDEAL resolver) refresh only the
+  rotated slots instead of re-deriving every packet's candidates.
 - :func:`extract_cycle` / :func:`rotate_cycle` — pull one resource cycle
   out of the deadlocked set and force its packets to move one hop in
   unison (the coordinated movement of SPIN's spin and of the ideal
@@ -17,12 +20,13 @@ Two tools live here:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..router.packet import MessageClass, Packet
 from .fabric import Fabric
 
 __all__ = [
+    "WaitForGraph",
     "find_deadlocked_slots",
     "extract_cycle",
     "rotate_cycle",
@@ -63,6 +67,98 @@ def _target_slots(fabric: Fabric, router: int, vn: int, packet: Packet) -> List[
     return out
 
 
+class WaitForGraph:
+    """Wait-for structure over the fabric's occupied slots, reusable.
+
+    Holds, per occupied slot, the occupying packet and either its legal
+    target slots (in-transit packets) or its ejectability (at-destination
+    packets). Building it costs one candidate derivation per occupied
+    slot; afterwards :meth:`deadlocked` is a cheap fixpoint over the
+    stored edges, and :meth:`refresh_slots` re-derives only the slots a
+    rotation touched — the freeness of a target depends solely on *which*
+    slots are occupied, and a rotation permutes occupants without changing
+    that set.
+    """
+
+    __slots__ = ("fabric", "assume", "occupant", "targets", "at_dest")
+
+    def __init__(self, fabric: Fabric, assume_ejection_drains: bool = True) -> None:
+        self.fabric = fabric
+        self.assume = assume_ejection_drains
+        self.occupant: Dict[Slot, Packet] = {}
+        self.targets: Dict[Slot, List[Slot]] = {}
+        #: Present only for at-destination slots; value = ejectable flag.
+        self.at_dest: Dict[Slot, bool] = {}
+        for port, vn, vc, packet in fabric.occupied_slots():
+            slot = (port, vn, vc)
+            self.occupant[slot] = packet
+            self._extract(slot, packet)
+
+    def _extract(self, slot: Slot, packet: Packet) -> None:
+        """(Re)derive one slot's wait-for edges from the live fabric."""
+        fabric = self.fabric
+        router = fabric.index.port_router[slot[0]]
+        if packet.dst == router:
+            self.targets[slot] = []
+            self.at_dest[slot] = (
+                self.assume
+                or packet.msg_class in _SINK_CLASSES
+                or fabric.ejection_space(router, packet.msg_class) > 0
+            )
+        else:
+            self.at_dest.pop(slot, None)
+            self.targets[slot] = _target_slots(fabric, router, slot[1], packet)
+
+    def refresh_slots(self, slots: Iterable[Slot]) -> None:
+        """Re-read occupants and re-derive edges for *slots* only.
+
+        Intended for post-rotation updates: a rotation permutes the
+        packets within a cycle's slots, so only those slots' occupants
+        (and hence their targets / at-destination status) changed.
+        """
+        for slot in slots:
+            packet = self.fabric._slot_get(*slot)
+            if packet is None:
+                self.occupant.pop(slot, None)
+                self.targets.pop(slot, None)
+                self.at_dest.pop(slot, None)
+            else:
+                self.occupant[slot] = packet
+                self._extract(slot, packet)
+
+    def deadlocked(self) -> Set[Slot]:
+        """The OR-request-model fixpoint over the stored wait-for edges."""
+        occupant = self.occupant
+        at_dest = self.at_dest
+        can_move: Set[Slot] = set()
+        waiters: Dict[Slot, List[Slot]] = {}
+        frontier: List[Slot] = []
+        for slot, tgt in self.targets.items():
+            if slot in at_dest:
+                if at_dest[slot]:
+                    can_move.add(slot)
+                    frontier.append(slot)
+                continue
+            movable = False
+            for t in tgt:
+                if t not in occupant:
+                    movable = True
+                else:
+                    waiters.setdefault(t, []).append(slot)
+            if movable:
+                can_move.add(slot)
+                frontier.append(slot)
+
+        while frontier:
+            slot = frontier.pop()
+            for waiter in waiters.get(slot, ()):
+                if waiter not in can_move:
+                    can_move.add(waiter)
+                    frontier.append(waiter)
+
+        return {s for s in occupant if s not in can_move}
+
+
 def find_deadlocked_slots(
     fabric: Fabric, assume_ejection_drains: bool = True
 ) -> Set[Slot]:
@@ -74,51 +170,7 @@ def find_deadlocked_slots(
     with free ejection space count as ejectable, which additionally exposes
     protocol-level deadlocks where non-sink ejection queues are wedged.
     """
-    slots = fabric.occupied_slots()
-    occupant: Dict[Slot, Packet] = {}
-    targets: Dict[Slot, List[Slot]] = {}
-    can_move: Set[Slot] = set()
-    index = fabric.index
-
-    for port, vn, vc, packet in slots:
-        occupant[(port, vn, vc)] = packet
-
-    waiters: Dict[Slot, List[Slot]] = {}
-    frontier: List[Slot] = []
-    for port, vn, vc, packet in slots:
-        slot = (port, vn, vc)
-        router = index.port_router[port]
-        if packet.dst == router:
-            ejectable = (
-                assume_ejection_drains
-                or packet.msg_class in _SINK_CLASSES
-                or fabric.ejection_space(router, packet.msg_class) > 0
-            )
-            if ejectable:
-                can_move.add(slot)
-                frontier.append(slot)
-            targets[slot] = []
-            continue
-        tgt = _target_slots(fabric, router, vn, packet)
-        targets[slot] = tgt
-        movable = False
-        for t in tgt:
-            if t not in occupant:
-                movable = True
-            else:
-                waiters.setdefault(t, []).append(slot)
-        if movable:
-            can_move.add(slot)
-            frontier.append(slot)
-
-    while frontier:
-        slot = frontier.pop()
-        for waiter in waiters.get(slot, ()):
-            if waiter not in can_move:
-                can_move.add(waiter)
-                frontier.append(waiter)
-
-    return {s for s in occupant if s not in can_move}
+    return WaitForGraph(fabric, assume_ejection_drains).deadlocked()
 
 
 def has_deadlock(fabric: Fabric, assume_ejection_drains: bool = True) -> bool:
@@ -127,7 +179,9 @@ def has_deadlock(fabric: Fabric, assume_ejection_drains: bool = True) -> bool:
 
 
 def extract_cycle(
-    fabric: Fabric, deadlocked: Set[Slot]
+    fabric: Fabric,
+    deadlocked: Set[Slot],
+    graph: Optional[WaitForGraph] = None,
 ) -> Optional[List[Slot]]:
     """Find one resource cycle within the deadlocked slots.
 
@@ -137,13 +191,21 @@ def extract_cycle(
     (e.g. pure protocol-level wedges at ejection queues, which no amount of
     spinning can fix — Section I-B: "There are no existing reactive
     solutions for protocol-level deadlocks").
+
+    A *graph* built over the current fabric state (and refreshed after any
+    rotation) lets repeated extractions reuse the stored wait-for edges
+    instead of re-deriving candidates per pass.
     """
     if not deadlocked:
         return None
-    occupant: Dict[Slot, Packet] = {}
-    for port, vn, vc, packet in fabric.occupied_slots():
-        occupant[(port, vn, vc)] = packet
     index = fabric.index
+    if graph is not None:
+        occupant = graph.occupant
+    else:
+        occupant = {
+            (port, vn, vc): packet
+            for port, vn, vc, packet in fabric.occupied_slots()
+        }
 
     succ: Dict[Slot, List[Slot]] = {}
     for slot in deadlocked:
@@ -152,11 +214,11 @@ def extract_cycle(
         if packet.dst == router:
             succ[slot] = []
             continue
-        succ[slot] = [
-            t
-            for t in _target_slots(fabric, router, slot[1], packet)
-            if t in deadlocked
-        ]
+        if graph is not None:
+            tgt = graph.targets[slot]
+        else:
+            tgt = _target_slots(fabric, router, slot[1], packet)
+        succ[slot] = [t for t in tgt if t in deadlocked]
 
     # Iterative DFS for any cycle in the deadlocked wait-for subgraph.
     color: Dict[Slot, int] = {}  # 0 absent/white, 1 grey (on stack), 2 black
@@ -202,10 +264,9 @@ def rotate_cycle(fabric: Fabric, cycle: List[Slot], forced_kind: str) -> int:
     """
     if len(cycle) < 2:
         raise ValueError("a rotation cycle needs at least two slots")
-    buf = fabric.buf
     index = fabric.index
     stats = fabric.stats
-    packets = [buf[p][vn][vc] for p, vn, vc in cycle]
+    packets = [fabric._slot_get(p, vn, vc) for p, vn, vc in cycle]
     if any(p is None for p in packets):
         raise ValueError("rotation cycle contains an empty slot")
     n = len(cycle)
@@ -213,7 +274,7 @@ def rotate_cycle(fabric: Fabric, cycle: List[Slot], forced_kind: str) -> int:
         dst_slot = cycle[(i + 1) % n]
         packet = packets[i]
         src_port = cycle[i][0]
-        buf[dst_slot[0]][dst_slot[1]][dst_slot[2]] = packet
+        fabric._slot_set(dst_slot[0], dst_slot[1], dst_slot[2], packet)
         link = dst_slot[0]
         if index.is_injection_port(link):
             raise ValueError("rotation cycle passes through an injection port")

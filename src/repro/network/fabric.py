@@ -24,13 +24,31 @@ expressed through ``escape_mode``:
 - ``"escape_vc"`` — classic escape VC: non-escape VCs are fully adaptive,
   VC 0 follows a restricted deadlock-free routing function; escape entry
   is only possible along that restricted route and is sticky.
+
+Performance architecture (see DESIGN.md, "Performance architecture"):
+
+- VC buffers live in one preallocated flat list indexed by precomputed
+  strides (``port * port_stride + vn * vcs_per_vn + vc``); the legacy
+  nested ``fabric.buf[port][vn][vc]`` interface is preserved as a view
+  whose writes route through :meth:`_slot_set` so occupancy stays exact;
+- per-port and per-router occupancy counters plus per-node NI pending
+  counters form the *active set*: the movement, injection and deadlock
+  scans skip routers/ports/nodes with no live state, in the exact same
+  deterministic iteration order as a dense sweep (the skipped work had no
+  side effects, so outputs are bit-identical);
+- candidate-link priority groups are memoized per (router, destination,
+  escape flag, routing state) into immutable tuples and invalidated on
+  fault reconfiguration (``FabricIndex.fault_epoch``) or explicit
+  :meth:`invalidate_routing_cache` calls;
+- ``dense=True`` retains the pre-optimization reference sweep (no skip
+  checks, no memoization) for the parity test suite.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Iterator, List, Optional, Tuple
 
 from ..core.config import SimConfig
 from ..core.metrics import NetworkStats
@@ -46,6 +64,87 @@ EJECT = -1
 _NUM_CLASSES = len(MessageClass)
 
 
+class _VcRow:
+    """Nested-compat view of one (port, vn) VC row over the flat buffer."""
+
+    __slots__ = ("_fabric", "_port", "_vn")
+
+    def __init__(self, fabric: "Fabric", port: int, vn: int) -> None:
+        self._fabric = fabric
+        self._port = port
+        self._vn = vn
+
+    def _norm(self, vc: int) -> int:
+        vcs = self._fabric.vcs_per_vn
+        if vc < 0:
+            vc += vcs
+        if not 0 <= vc < vcs:
+            raise IndexError("VC index out of range")
+        return vc
+
+    def __getitem__(self, vc: int) -> Optional[Packet]:
+        return self._fabric._slot_get(self._port, self._vn, self._norm(vc))
+
+    def __setitem__(self, vc: int, packet: Optional[Packet]) -> None:
+        self._fabric._slot_set(self._port, self._vn, self._norm(vc), packet)
+
+    def __len__(self) -> int:
+        return self._fabric.vcs_per_vn
+
+    def __iter__(self) -> Iterator[Optional[Packet]]:
+        for vc in range(self._fabric.vcs_per_vn):
+            yield self._fabric._slot_get(self._port, self._vn, vc)
+
+
+class _PortRow:
+    """Nested-compat view of one port's VN rows."""
+
+    __slots__ = ("_fabric", "_port")
+
+    def __init__(self, fabric: "Fabric", port: int) -> None:
+        self._fabric = fabric
+        self._port = port
+
+    def __getitem__(self, vn: int) -> _VcRow:
+        num_vns = self._fabric.num_vns
+        if vn < 0:
+            vn += num_vns
+        if not 0 <= vn < num_vns:
+            raise IndexError("VN index out of range")
+        return _VcRow(self._fabric, self._port, vn)
+
+    def __len__(self) -> int:
+        return self._fabric.num_vns
+
+    def __iter__(self) -> Iterator[_VcRow]:
+        for vn in range(self._fabric.num_vns):
+            yield _VcRow(self._fabric, self._port, vn)
+
+
+class _BufView:
+    """Read/write view emulating the legacy ``buf[port][vn][vc]`` nesting."""
+
+    __slots__ = ("_fabric",)
+
+    def __init__(self, fabric: "Fabric") -> None:
+        self._fabric = fabric
+
+    def __getitem__(self, port: int) -> _PortRow:
+        num_ports = self._fabric.index.num_ports
+        if port < 0:
+            port += num_ports
+        if not 0 <= port < num_ports:
+            raise IndexError("port index out of range")
+        return _PortRow(self._fabric, port)
+
+    def __len__(self) -> int:
+        return self._fabric.index.num_ports
+
+    def __iter__(self) -> Iterator[_PortRow]:
+        for port in range(self._fabric.index.num_ports):
+            yield _PortRow(self._fabric, port)
+
+
 class Fabric:
     """The network state plus the per-cycle allocation/movement pipeline."""
 
@@ -58,6 +157,7 @@ class Fabric:
         escape_routing: Optional[RoutingFunction] = None,
         stats: Optional[NetworkStats] = None,
         rng: Optional[random.Random] = None,
+        dense: bool = False,
     ) -> None:
         if escape_mode not in (None, "drain", "escape_vc"):
             raise ValueError(f"unknown escape mode {escape_mode!r}")
@@ -71,16 +171,22 @@ class Fabric:
         self.escape_routing = escape_routing
         self.stats = stats if stats is not None else NetworkStats()
         self.rng = rng if rng is not None else random.Random(config.seed)
+        #: Reference mode: dense sweeps, no memoization (parity baseline).
+        self.dense = bool(dense)
 
         self.num_vns = self.net.num_vns
         self.vcs_per_vn = self.net.vcs_per_vn
         self.escape_sticky = config.drain.escape_sticky
 
-        # buf[port][vn][vc] -> Optional[Packet]
-        self.buf: List[List[List[Optional[Packet]]]] = [
-            [[None] * self.vcs_per_vn for _ in range(self.num_vns)]
-            for _ in range(index.num_ports)
-        ]
+        #: Flat VC storage: slot (port, vn, vc) lives at
+        #: ``port * _port_stride + vn * vcs_per_vn + vc``.
+        self._port_stride = self.num_vns * self.vcs_per_vn
+        self._buf: List[Optional[Packet]] = (
+            [None] * (index.num_ports * self._port_stride)
+        )
+        #: Active-set occupancy counters, maintained by every buffer write.
+        self._port_occ: List[int] = [0] * index.num_ports
+        self._router_occ: List[int] = [0] * index.num_nodes
         self.packets_in_network = 0
 
         # Network-interface queues, one per message class per node.
@@ -93,6 +199,13 @@ class Fabric:
         ]
         self._inj_depth = depth_in
         self._ej_depth = self.net.ejection_queue_depth
+        #: Queued injection-side packets per node (active-set hint; packets
+        #: enqueued through :meth:`offer_packet` keep it exact).
+        self._inj_pending: List[int] = [0] * index.num_nodes
+        #: Ejection-queue occupancy per node plus the network-wide total
+        #: (lets traffic sinks skip nodes with nothing to consume).
+        self.ej_pending: List[int] = [0] * index.num_nodes
+        self.ej_pending_total = 0
 
         #: Per-unidirectional-link traversal counters (utilisation probes).
         self.link_util: List[int] = [0] * index.num_links
@@ -113,7 +226,58 @@ class Fabric:
         self.measure_from = 0  # packets generated earlier are not recorded
         self.last_progress_cycle = 0
         self._lcg = (config.seed * 2654435761) & 0x7FFFFFFF
-        self._inj_rr: List[int] = [0] * index.num_nodes
+        #: Class-rotation counter for NI injection fairness. One shared
+        #: counter: the legacy per-node counters advanced in lockstep (one
+        #: bump per node per non-frozen cycle), so a single counter yields
+        #: the identical service order.
+        self._inj_rr: int = 0
+
+        #: VC-order scratch: immutable, precomputed once, shared by every
+        #: ``_pick_vc`` call (no per-call range/tuple churn, and — being
+        #: tuples — no way to leak allocation state across trials).
+        self._vc_order_all: Tuple[int, ...] = tuple(range(self.vcs_per_vn))
+        self._vc_order_escape: Tuple[int, ...] = (0,)
+        self._vc_order_adaptive: Tuple[int, ...] = tuple(range(1, self.vcs_per_vn))
+
+        #: Candidate-group memo: (router, dst, in_escape[, routing state])
+        #: -> tuple of priority groups. Invalidated when the index's fault
+        #: epoch moves or via :meth:`invalidate_routing_cache`.
+        self._cand_cache: dict = {}
+        self._cand_epoch: int = index.fault_epoch
+        self._stateful_fns: Tuple[RoutingFunction, ...] = tuple(
+            fn for fn in (routing, escape_routing)
+            if fn is not None and fn.stateful
+        )
+
+    # ------------------------------------------------------------------
+    # Flat-buffer slot primitives (the only legal buffer mutators)
+    # ------------------------------------------------------------------
+    @property
+    def buf(self) -> _BufView:
+        """Nested ``buf[port][vn][vc]`` view over the flat VC storage.
+
+        Reads are plain lookups; writes route through :meth:`_slot_set` so
+        the active-set occupancy counters stay exact even for external
+        writers (controllers, scenario builders, tests).
+        """
+        return _BufView(self)
+
+    def _slot_get(self, port: int, vn: int, vc: int) -> Optional[Packet]:
+        return self._buf[port * self._port_stride + vn * self.vcs_per_vn + vc]
+
+    def _slot_set(self, port: int, vn: int, vc: int,
+                  packet: Optional[Packet]) -> None:
+        """Write one VC slot, keeping the occupancy counters exact."""
+        idx = port * self._port_stride + vn * self.vcs_per_vn + vc
+        old = self._buf[idx]
+        self._buf[idx] = packet
+        if old is None:
+            if packet is not None:
+                self._port_occ[port] += 1
+                self._router_occ[self.index.port_router[port]] += 1
+        elif packet is None:
+            self._port_occ[port] -= 1
+            self._router_occ[self.index.port_router[port]] -= 1
 
     # ------------------------------------------------------------------
     # NI-side API (used by traffic generators and protocol models)
@@ -140,6 +304,7 @@ class Fabric:
         if len(queue) >= self._inj_depth:
             return False
         queue.append(packet)
+        self._inj_pending[packet.src] += 1
         return True
 
     def injection_space(self, node: int, msg_class: MessageClass) -> int:
@@ -152,7 +317,10 @@ class Fabric:
 
     def pop_ejection(self, node: int, msg_class: MessageClass) -> Packet:
         self.last_progress_cycle = self.cycle
-        return self.ej_queues[node][msg_class].popleft()
+        packet = self.ej_queues[node][msg_class].popleft()
+        self.ej_pending[node] -= 1
+        self.ej_pending_total -= 1
+        return packet
 
     def ejection_space(self, node: int, msg_class: MessageClass) -> int:
         return self._ej_depth - len(self.ej_queues[node][msg_class])
@@ -164,12 +332,22 @@ class Fabric:
         """Virtual network carrying *msg_class* (classes fold onto VNs)."""
         return msg_class % self.num_vns
 
+    def invalidate_routing_cache(self) -> None:
+        """Drop memoized candidate groups (fault recovery / path reinstall).
+
+        Must be called whenever a routing function's tables change outside
+        of :meth:`FabricIndex.apply_faults` (whose fault-epoch bump is
+        detected automatically).
+        """
+        self._cand_cache.clear()
+        self._cand_epoch = self.index.fault_epoch
+
     def candidate_links(
         self, router: int, packet: Packet
-    ) -> List[List[Tuple[int, int]]]:
+    ) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
         """Output candidates for *packet* at *router*, in priority groups.
 
-        Each group is a list of ``(link, vc_mode)`` pairs; the allocator
+        Each group is a tuple of ``(link, vc_mode)`` pairs; the allocator
         exhausts a group (in randomised order) before trying the next, so
         groups encode strict preferences. ``vc_mode`` selects which
         downstream VCs may be claimed: 0 = any VC, 2 = escape VC only,
@@ -182,26 +360,52 @@ class Fabric:
         - Escape-VC baseline: adaptive (non-escape) and restricted-route
           escape candidates compete in a single group, modelling the usual
           round-robin VC selection; escape entry is always sticky.
+
+        Results are memoized per (router, destination, escape flag) — plus
+        the per-packet routing state reported by
+        :meth:`RoutingFunction.cache_key` for stateful functions — until
+        the index's fault epoch moves or the cache is invalidated.
         """
+        if self.dense:
+            return self._build_candidate_groups(router, packet)
+        if self._cand_epoch != self.index.fault_epoch:
+            self._cand_cache.clear()
+            self._cand_epoch = self.index.fault_epoch
+        if self._stateful_fns:
+            key = (router, packet.dst, packet.in_escape,
+                   tuple(fn.cache_key(packet) for fn in self._stateful_fns))
+        else:
+            key = (router, packet.dst, packet.in_escape)
+        cache = self._cand_cache
+        groups = cache.get(key)
+        if groups is None:
+            groups = self._build_candidate_groups(router, packet)
+            cache[key] = groups
+        return groups
+
+    def _build_candidate_groups(
+        self, router: int, packet: Packet
+    ) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+        """Uncached candidate-group construction (memoized by the caller)."""
         mode = self.escape_mode
         if mode is None:
-            return [[(link, 0)
-                     for link in self.routing.candidates(router, packet)]]
+            return (tuple((link, 0)
+                          for link in self.routing.candidates(router, packet)),)
         if mode == "drain":
             links = self.routing.candidates(router, packet)
             if packet.in_escape:
-                return [[(link, 2) for link in links]]
+                return (tuple((link, 2) for link in links),)
             if self.vcs_per_vn == 1:
                 # Degenerate config: the only VC is the escape VC.
-                return [[(link, 2) for link in links]]
-            return [[(link, 3) for link in links],
-                    [(link, 2) for link in links]]
+                return (tuple((link, 2) for link in links),)
+            return (tuple((link, 3) for link in links),
+                    tuple((link, 2) for link in links))
         # escape_vc
         if packet.in_escape:
-            return [
-                [(link, 2)
-                 for link in self.escape_routing.candidates(router, packet)]
-            ]
+            return (
+                tuple((link, 2)
+                      for link in self.escape_routing.candidates(router, packet)),
+            )
         cands = [(link, 4)
                  for link in self.routing.candidates(router, packet)]
         if self.vcs_per_vn == 1:
@@ -209,34 +413,33 @@ class Fabric:
             cands = []
         for link in self.escape_routing.candidates(router, packet):
             cands.append((link, 2))
-        return [cands]
+        return (tuple(cands),)
 
     def _pick_vc(self, port: int, vn: int, vc_mode: int, claimed) -> int:
         """Free claimable VC index at *port*/*vn* honouring *vc_mode*; -1 if none."""
-        row = self.buf[port][vn]
-        vcs = self.vcs_per_vn
+        flat = self._buf
+        base = port * self._port_stride + vn * self.vcs_per_vn
         if vc_mode == 0:
-            order = range(vcs)
+            order = self._vc_order_all
         elif vc_mode == 2:  # escape only
-            order = (0,)
+            order = self._vc_order_escape
         elif vc_mode == 4:  # non-escape, conservative allocation
             # Duato-style conservative criterion for adaptive VCs [11]: only
             # claim an adaptive VC while the port retains another free VC,
             # so the escape path can never be starved of buffer space.
-            free = sum(
-                1
-                for vc in range(vcs)
-                if row[vc] is None and (port, vn, vc) not in claimed
-            )
+            free = 0
+            for vc in self._vc_order_all:
+                if flat[base + vc] is None and (port, vn, vc) not in claimed:
+                    free += 1
             if free < 2:
                 return -1
-            order = range(1, vcs)
+            order = self._vc_order_adaptive
         else:  # non-escape only
-            order = range(1, vcs)
+            order = self._vc_order_adaptive
         reserved = self._reserved
         for vc in order:
             if (
-                row[vc] is None
+                flat[base + vc] is None
                 and (port, vn, vc) not in claimed
                 and (port, vn, vc) not in reserved
             ):
@@ -254,19 +457,29 @@ class Fabric:
         """
         if self.frozen:
             return
-        buf = self.buf
+        flat = self._buf
         index = self.index
         stats = self.stats
         dead_routers = index.dead_routers
+        num_links = index.num_links
+        vcs = self.vcs_per_vn
+        stride = self._port_stride
+        fast = not self.dense
+        inj_pending = self._inj_pending
+        port_occ = self._port_occ
+        router_occ = self._router_occ
+        # Rotate class service order for fairness between classes that
+        # share a VN.
+        rr = self._inj_rr
+        self._inj_rr = (rr + 1) % _NUM_CLASSES
         for node in range(index.num_nodes):
+            if fast and not inj_pending[node]:
+                continue
             if dead_routers and node in dead_routers:
                 continue
             queues = self.inj_queues[node]
-            port = index.num_links + node
-            # Rotate class service order for fairness between classes that
-            # share a VN.
-            rr = self._inj_rr[node]
-            self._inj_rr[node] = (rr + 1) % _NUM_CLASSES
+            port = num_links + node
+            base_port = port * stride
             granted_vns = 0
             for off in range(_NUM_CLASSES):
                 cls = (rr + off) % _NUM_CLASSES
@@ -274,16 +487,23 @@ class Fabric:
                 if not queue:
                     continue
                 vn = cls % self.num_vns
-                row = buf[port][vn]
-                vc = next((i for i, slot in enumerate(row) if slot is None), -1)
+                base = base_port + vn * vcs
+                vc = -1
+                for i in range(vcs):
+                    if flat[base + i] is None:
+                        vc = i
+                        break
                 if vc < 0:
                     continue
                 packet = queue.popleft()
+                inj_pending[node] -= 1
                 packet.vn = vn
                 packet.net_entry_cycle = self.cycle
                 packet.blocked_since = self.cycle
                 self.routing.on_inject(packet)
-                row[vc] = packet
+                flat[base + vc] = packet
+                port_occ[port] += 1
+                router_occ[node] += 1
                 self.packets_in_network += 1
                 stats.packets_injected += 1
                 stats.buffer_writes += 1
@@ -303,10 +523,10 @@ class Fabric:
             if done > cycle:
                 remaining.append(entry)
                 continue
-            self.buf[sp][svn][svc] = None
+            self._slot_set(sp, svn, svc, None)
             self._in_flight_sources.discard((sp, svn, svc))
             self._reserved.discard((link, tvn, tvc))
-            self.buf[link][tvn][tvc] = packet
+            self._slot_set(link, tvn, tvc, packet)
             self._account_move(sp, svn, link, tvn, tvc, packet)
         self._in_flight = remaining
 
@@ -316,57 +536,74 @@ class Fabric:
         if self.frozen:
             return
         index = self.index
-        buf = self.buf
+        flat = self._buf
         num_vns = self.num_vns
         vcs = self.vcs_per_vn
+        stride = self._port_stride
         cycle = self.cycle
 
         moves: List[Tuple[int, int, int, int, int, int, Packet]] = []
         ejects: List[Tuple[int, int, int, Packet]] = []
         link_used = bytearray(index.num_links)
         claimed = set()
-        eject_budget = [self.net.ejections_per_cycle] * index.num_nodes
-        eject_pending = [[0] * _NUM_CLASSES for _ in range(index.num_nodes)]
+        # Lazily seeded per-cycle ejection budgets: at typical occupancy
+        # only a handful of routers eject per cycle, so dicts beat
+        # preallocating O(nodes) lists every cycle.
+        epc = self.net.ejections_per_cycle
+        eject_budget: dict = {}
+        eject_pending: dict = {}
 
+        fast = not self.dense
+        port_occ = self._port_occ
+        router_occ = self._router_occ
+        in_flight_sources = self._in_flight_sources
+        ej_queues = self.ej_queues
+        ej_depth = self._ej_depth
         lcg = self._lcg
         dead_links = index.dead_links
         dead_routers = index.dead_routers
         for router in range(index.num_nodes):
             if dead_routers and router in dead_routers:
                 continue  # dead router: buffers were emptied at fault time
+            if fast and not router_occ[router]:
+                continue
             ports = index.in_ports[router]
             nports = len(ports)
             port_start = (cycle + router) % nports
             for pi in range(nports):
                 port = ports[(port_start + pi) % nports]
+                if fast and not port_occ[port]:
+                    continue
                 self._serving_port = port  # hook for flow-control subclasses
-                rows = buf[port]
+                base_port = port * stride
                 granted = False
                 for vn_off in range(num_vns):
                     vn = (cycle + vn_off) % num_vns
-                    row = rows[vn]
+                    base = base_port + vn * vcs
                     for vc_off in range(vcs):
                         vc = (cycle + port + vc_off) % vcs
-                        packet = row[vc]
+                        packet = flat[base + vc]
                         if packet is None:
                             continue
                         if (
-                            self._in_flight_sources
-                            and (port, vn, vc) in self._in_flight_sources
+                            in_flight_sources
+                            and (port, vn, vc) in in_flight_sources
                         ):
                             continue  # mid-transfer on its link
                         if packet.dst == router:
                             cls = packet.msg_class
-                            if (
-                                eject_budget[router] > 0
-                                and len(self.ej_queues[router][cls])
-                                + eject_pending[router][cls]
-                                < self._ej_depth
-                            ):
-                                ejects.append((port, vn, vc, packet))
-                                eject_budget[router] -= 1
-                                eject_pending[router][cls] += 1
-                                granted = True
+                            budget = eject_budget.get(router, epc)
+                            if budget > 0:
+                                rc = (router, cls)
+                                pending = eject_pending.get(rc, 0)
+                                if (
+                                    len(ej_queues[router][cls]) + pending
+                                    < ej_depth
+                                ):
+                                    ejects.append((port, vn, vc, packet))
+                                    eject_budget[router] = budget - 1
+                                    eject_pending[rc] = pending + 1
+                                    granted = True
                         else:
                             for group in self.candidate_links(router, packet):
                                 ncands = len(group)
@@ -421,21 +658,32 @@ class Fabric:
         moves: List[Tuple[int, int, int, int, int, int, Packet]],
         ejects: List[Tuple[int, int, int, Packet]],
     ) -> None:
-        buf = self.buf
+        flat = self._buf
         index = self.index
         stats = self.stats
         cycle = self.cycle
+        stride = self._port_stride
+        vcs = self.vcs_per_vn
+        port_occ = self._port_occ
+        router_occ = self._router_occ
+        port_router = index.port_router
         if moves or ejects:
             self.last_progress_cycle = cycle
         for port, vn, vc, _t1, _t2, _t3, _pkt in moves:
-            buf[port][vn][vc] = None
+            flat[port * stride + vn * vcs + vc] = None
+            port_occ[port] -= 1
+            router_occ[port_router[port]] -= 1
         for port, vn, vc, _pkt in ejects:
-            buf[port][vn][vc] = None
+            flat[port * stride + vn * vcs + vc] = None
+            port_occ[port] -= 1
+            router_occ[port_router[port]] -= 1
         for src_port, vn, _vc, link, tvn, tvc, packet in moves:
-            buf[link][tvn][tvc] = packet
+            flat[link * stride + tvn * vcs + tvc] = packet
+            port_occ[link] += 1
+            router_occ[port_router[link]] += 1
             self._account_move(src_port, vn, link, tvn, tvc, packet)
         for port, _vn, _vc, packet in ejects:
-            router = index.port_router[port]
+            router = port_router[port]
             self._eject(router, packet)
             stats.buffer_reads += 1
             stats.xbar_traversals += 1
@@ -477,6 +725,8 @@ class Fabric:
         """Deliver *packet* into the per-class ejection queue at *router*."""
         packet.eject_cycle = self.cycle
         self.ej_queues[router][packet.msg_class].append(packet)
+        self.ej_pending[router] += 1
+        self.ej_pending_total += 1
         self.packets_in_network -= 1
         stats = self.stats
         stats.packets_ejected += 1
@@ -513,19 +763,22 @@ class Fabric:
         the rotation, packets that arrived at their destination router
         eject immediately if their per-class ejection queue has space.
         """
-        buf = self.buf
+        flat = self._buf
         index = self.index
         stats = self.stats
         dist = index.dist
+        stride = self._port_stride
+        vcs = self.vcs_per_vn
         n = len(path_ports)
         cycle = self.cycle
         for vn in range(self.num_vns):
-            packets = [buf[p][vn][0] for p in path_ports]
+            offset = vn * vcs
+            packets = [flat[p * stride + offset] for p in path_ports]
             moved = 0
             for i in range(n):
                 packet = packets[i]
                 tgt = path_ports[(i + 1) % n]
-                buf[tgt][vn][0] = packet
+                self._slot_set(tgt, vn, 0, packet)
                 if packet is None:
                     continue
                 moved += 1
@@ -545,14 +798,14 @@ class Fabric:
                 stats.drained_packets += moved
                 self.last_progress_cycle = cycle
             for p in path_ports:
-                packet = buf[p][vn][0]
+                packet = flat[p * stride + offset]
                 if packet is None:
                     continue
                 router = index.link_dst[p]
                 if packet.dst != router:
                     continue
                 if self.ejection_space(router, packet.msg_class) > 0:
-                    buf[p][vn][0] = None
+                    self._slot_set(p, vn, 0, None)
                     self._eject(router, packet)
                     stats.buffer_reads += 1
 
@@ -562,20 +815,31 @@ class Fabric:
     def occupied_slots(self) -> List[Tuple[int, int, int, Packet]]:
         """All occupied buffer slots as (port, vn, vc, packet) tuples."""
         out = []
-        buf = self.buf
+        flat = self._buf
+        stride = self._port_stride
+        vcs = self.vcs_per_vn
+        num_vns = self.num_vns
+        port_occ = self._port_occ
+        fast = not self.dense
         for port in range(self.index.num_ports):
-            rows = buf[port]
-            for vn in range(self.num_vns):
-                row = rows[vn]
-                for vc in range(self.vcs_per_vn):
-                    packet = row[vc]
+            if fast and not port_occ[port]:
+                continue
+            base_port = port * stride
+            for vn in range(num_vns):
+                base = base_port + vn * vcs
+                for vc in range(vcs):
+                    packet = flat[base + vc]
                     if packet is not None:
                         out.append((port, vn, vc, packet))
         return out
 
     def count_packets(self) -> int:
-        """Packets currently buffered in the network (invariant check)."""
-        return sum(1 for _ in self.occupied_slots())
+        """Packets currently buffered in the network (invariant check).
+
+        Deliberately scans the raw flat buffer — not the occupancy
+        counters — so tests can cross-check counter maintenance.
+        """
+        return sum(1 for packet in self._buf if packet is not None)
 
     def transfers_in_flight(self) -> int:
         """Serialised link transfers still completing (multi-flit packets).
@@ -626,7 +890,7 @@ class Fabric:
             self._in_flight_sources.discard((sp, svn, svc))
             self._reserved.discard((link, tvn, tvc))
             if drop:
-                self.buf[sp][svn][svc] = None
+                self._slot_set(sp, svn, svc, None)
                 self.packets_in_network -= 1
                 dropped.append(packet)
         self._in_flight = remaining
@@ -636,10 +900,10 @@ class Fabric:
 
     def fault_drop_slot(self, port: int, vn: int, vc: int) -> Packet:
         """Vaporise the packet in one buffer slot (fault semantics)."""
-        packet = self.buf[port][vn][vc]
+        packet = self._slot_get(port, vn, vc)
         if packet is None:
             raise ValueError(f"no packet at slot {(port, vn, vc)}")
-        self.buf[port][vn][vc] = None
+        self._slot_set(port, vn, vc, None)
         self.packets_in_network -= 1
         self._in_flight_sources.discard((port, vn, vc))
         return packet
@@ -654,16 +918,19 @@ class Fabric:
         """
         dropped: List[Packet] = []
         for port in self.index.in_ports[router]:
-            rows = self.buf[port]
             for vn in range(self.num_vns):
-                row = rows[vn]
                 for vc in range(self.vcs_per_vn):
-                    if row[vc] is not None:
+                    if self._slot_get(port, vn, vc) is not None:
                         dropped.append(self.fault_drop_slot(port, vn, vc))
-        for queue_set in (self.inj_queues[router], self.ej_queues[router]):
-            for queue in queue_set:
-                while queue:
-                    dropped.append(queue.popleft())
+        for queue in self.inj_queues[router]:
+            while queue:
+                dropped.append(queue.popleft())
+                self._inj_pending[router] -= 1
+        for queue in self.ej_queues[router]:
+            while queue:
+                dropped.append(queue.popleft())
+                self.ej_pending[router] -= 1
+                self.ej_pending_total -= 1
         return dropped
 
     def fault_drop_unroutable(self) -> List[Packet]:
@@ -694,6 +961,7 @@ class Fabric:
                     else:
                         dropped.append(p)
                 if len(keep) != len(queue):
+                    self._inj_pending[node] -= len(queue) - len(keep)
                     queue.clear()
                     queue.extend(keep)
         return dropped
@@ -707,10 +975,10 @@ class Fabric:
         """
         sp, svn, svc = src
         dp, dvn, dvc = dst
-        packet = self.buf[sp][svn][svc]
+        packet = self._slot_get(sp, svn, svc)
         if packet is None:
             raise ValueError(f"no packet at slot {src}")
-        if self.buf[dp][dvn][dvc] is not None:
+        if self._slot_get(dp, dvn, dvc) is not None:
             raise ValueError(f"slot {dst} is occupied")
-        self.buf[sp][svn][svc] = None
-        self.buf[dp][dvn][dvc] = packet
+        self._slot_set(sp, svn, svc, None)
+        self._slot_set(dp, dvn, dvc, packet)

@@ -60,6 +60,10 @@ class FabricIndex:
         # routing tables are recomputed over the survivors.
         self.dead_links: Set[int] = set()
         self.dead_routers: Set[int] = set()
+        #: Monotonic fault-reconfiguration counter. Consumers holding
+        #: derived caches (e.g. the fabric's candidate-group memo) compare
+        #: it against the epoch they cached under and invalidate on change.
+        self.fault_epoch: int = 0
 
     # ------------------------------------------------------------------
     # Runtime faults
@@ -81,6 +85,7 @@ class FabricIndex:
         """
         self.dead_links = set(dead_links)
         self.dead_routers = set(dead_routers)
+        self.fault_epoch += 1
         n = self.num_nodes
         alive_out: List[List[int]] = [[] for _ in range(n)]
         for link in range(self.num_links):

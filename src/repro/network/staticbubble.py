@@ -78,7 +78,7 @@ class StaticBubbleController:
             router = fabric.index.port_router[port]
             if self.bubbles[router] is not None:
                 continue
-            fabric.buf[port][vn][vc] = None
+            fabric._slot_set(port, vn, vc, None)
             # packets_in_network keeps counting the packet: a bubble is
             # part of the router, just not a normal VC slot.
             self.bubbles[router] = packet
@@ -107,7 +107,7 @@ class StaticBubbleController:
                     tvc = fabric._pick_vc(link, vn, vc_mode, claimed=set())
                     if tvc < 0:
                         continue
-                    fabric.buf[link][vn][tvc] = packet
+                    fabric._slot_set(link, vn, tvc, packet)
                     self.bubbles[router] = None
                     packet.hops += 1
                     packet.blocked_since = fabric.cycle

@@ -78,6 +78,7 @@ class WormholeFabric:
         vc_depth_flits: int = 4,
         stats: Optional[NetworkStats] = None,
         rng: Optional[random.Random] = None,
+        dense: bool = False,
     ) -> None:
         if escape_mode not in (None, "drain"):
             raise ValueError(
@@ -94,6 +95,8 @@ class WormholeFabric:
         self.vc_depth = vc_depth_flits
         self.stats = stats if stats is not None else NetworkStats()
         self.rng = rng if rng is not None else random.Random(config.seed)
+        #: Reference mode: dense sweeps, no memoization (parity baseline).
+        self.dense = bool(dense)
 
         self.num_vns = self.net.num_vns
         self.vcs_per_vn = self.net.vcs_per_vn
@@ -117,6 +120,17 @@ class WormholeFabric:
         self.last_progress_cycle = 0
         self._lcg = (config.seed * 2654435761) & 0x7FFFFFFF
         self._drain_generation = 0
+        #: Active-set counters: buffered flits per port / per router and
+        #: queued injection-side packets per node. Maintained by every
+        #: flit enqueue/dequeue so the movement and injection sweeps can
+        #: skip idle routers, ports and nodes.
+        self._port_flits: List[int] = [0] * index.num_ports
+        self._router_flits: List[int] = [0] * index.num_nodes
+        self._inj_pending: List[int] = [0] * index.num_nodes
+        #: Candidate-group memo, keyed (router, dst[, routing state]);
+        #: see Fabric.candidate_links for the invalidation contract.
+        self._cand_cache: Dict = {}
+        self._cand_epoch: int = index.fault_epoch
 
     # ------------------------------------------------------------------
     # NI-side API
@@ -126,6 +140,7 @@ class WormholeFabric:
         if len(queue) >= self._inj_depth:
             return False
         queue.append(packet)
+        self._inj_pending[packet.src] += 1
         return True
 
     # ------------------------------------------------------------------
@@ -139,15 +154,41 @@ class WormholeFabric:
         self.cycle += 1
         self.stats.cycles += 1
 
+    def invalidate_routing_cache(self) -> None:
+        """Drop memoized candidate groups (routing tables changed)."""
+        self._cand_cache.clear()
+        self._cand_epoch = self.index.fault_epoch
+
     def _candidate_groups(self, router: int, packet: Packet):
-        """Output-link priority groups (mirrors the VCT fabric's policy)."""
+        """Output-link priority groups (mirrors the VCT fabric's policy).
+
+        Memoized per (router, destination[, routing state]) — the groups
+        do not depend on the packet's escape flag, which is applied as a
+        VC-mode override during allocation.
+        """
+        if self.dense:
+            return self._build_candidate_groups(router, packet)
+        if self._cand_epoch != self.index.fault_epoch:
+            self._cand_cache.clear()
+            self._cand_epoch = self.index.fault_epoch
+        if self.routing.stateful:
+            key = (router, packet.dst, self.routing.cache_key(packet))
+        else:
+            key = (router, packet.dst)
+        groups = self._cand_cache.get(key)
+        if groups is None:
+            groups = self._build_candidate_groups(router, packet)
+            self._cand_cache[key] = groups
+        return groups
+
+    def _build_candidate_groups(self, router: int, packet: Packet):
         links = self.routing.candidates(router, packet)
         if self.escape_mode is None:
-            return [[(link, 0) for link in links]]
+            return (tuple((link, 0) for link in links),)
         if self.vcs_per_vn == 1:
-            return [[(link, 2) for link in links]]
-        return [[(link, 3) for link in links],
-                [(link, 2) for link in links]]
+            return (tuple((link, 2) for link in links),)
+        return (tuple((link, 3) for link in links),
+                tuple((link, 2) for link in links))
 
     def _pick_target_vc(self, link: int, vn: int, vc_mode: int) -> int:
         """A downstream VC the head may claim: empty and not being written."""
@@ -168,12 +209,19 @@ class WormholeFabric:
         index = self.index
         link_used = bytearray(index.num_links)
         moved_any = False
+        fast = not self.dense
+        router_flits = self._router_flits
+        port_flits = self._port_flits
         for router in range(index.num_nodes):
+            if fast and not router_flits[router]:
+                continue
             ports = index.in_ports[router]
             nports = len(ports)
             start = (self.cycle + router) % nports
             for pi in range(nports):
                 port = ports[(start + pi) % nports]
+                if fast and not port_flits[port]:
+                    continue
                 if self._service_port(router, port, link_used):
                     moved_any = True
         if moved_any:
@@ -201,7 +249,7 @@ class WormholeFabric:
                                                 link_used):
                         continue
                 if state.out_link == _EJECT:
-                    self._eject_flit(router, state)
+                    self._eject_flit(router, state, port)
                     return True
                 link = state.out_link
                 if link_used[link]:
@@ -212,6 +260,10 @@ class WormholeFabric:
                 flit = state.flits.popleft()
                 flit.moved_at = self.cycle
                 target.flits.append(flit)
+                self._port_flits[port] -= 1
+                self._router_flits[router] -= 1
+                self._port_flits[link] += 1
+                self._router_flits[self.index.link_dst[link]] += 1
                 link_used[link] = 1
                 self.stats.flits_traversed += 1
                 self.stats.buffer_reads += 1
@@ -270,10 +322,12 @@ class WormholeFabric:
         self._lcg = lcg
         return False
 
-    def _eject_flit(self, router: int, state: _VC) -> None:
+    def _eject_flit(self, router: int, state: _VC, port: int) -> None:
         flit = state.flits.popleft()
         packet = flit.packet
         self.flits_in_network -= 1
+        self._port_flits[port] -= 1
+        self._router_flits[router] -= 1
         self.stats.buffer_reads += 1
         if flit.is_tail:
             state.out_link = None
@@ -300,7 +354,11 @@ class WormholeFabric:
     def _injection_stage(self) -> None:
         """Start streaming one queued packet per free injection VC."""
         index = self.index
+        fast = not self.dense
+        inj_pending = self._inj_pending
         for node in range(index.num_nodes):
+            if fast and not inj_pending[node]:
+                continue
             port = index.num_links + node
             for cls in range(_NUM_CLASSES):
                 queue = self.inj_queues[node][cls]
@@ -316,6 +374,7 @@ class WormholeFabric:
                 if vc < 0:
                     continue
                 packet = queue.popleft()
+                inj_pending[node] -= 1
                 packet.vn = vn
                 packet.net_entry_cycle = self.cycle
                 packet.blocked_since = self.cycle
@@ -327,11 +386,30 @@ class WormholeFabric:
                 for flit in flits:
                     row[vc].flits.append(flit)
                 self.flits_in_network += len(flits)
+                self._port_flits[port] += len(flits)
+                self._router_flits[node] += len(flits)
                 self._packet_sizes[packet.pid] = len(flits)
                 self.packets_in_flight += 1
                 self.stats.packets_injected += 1
                 self.stats.buffer_writes += len(flits)
                 self.last_progress_cycle = self.cycle
+
+    def seed_flits(self, port: int, vn: int, vc: int, flits) -> None:
+        """Place pre-made flits into a VC directly (scenario/test seeding).
+
+        The only sanctioned way to stuff buffer state from outside the
+        pipeline: it keeps the active-set flit counters exact. The caller
+        still registers the packet's size in ``_packet_sizes`` if the
+        flits are expected to reassemble.
+        """
+        state = self.vcs[port][vn][vc]
+        count = 0
+        for flit in flits:
+            state.flits.append(flit)
+            count += 1
+        self.flits_in_network += count
+        self._port_flits[port] += count
+        self._router_flits[self.index.port_router[port]] += count
 
     # ------------------------------------------------------------------
     # Draining with truncation (DrainController interface)
@@ -349,13 +427,20 @@ class WormholeFabric:
         n = len(path_ports)
         cycle = self.cycle
         self._drain_generation += 1
+        port_flits = self._port_flits
+        router_flits = self._router_flits
         for vn in range(self.num_vns):
             contents = [self.vcs[p][vn][0].flits for p in path_ports]
+            lengths = [len(flits) for flits in contents]
             rotated = [contents[(i - 1) % n] for i in range(n)]
             moved = 0
             for i, port in enumerate(path_ports):
                 state = self.vcs[port][vn][0]
                 state.flits = rotated[i]
+                delta = lengths[(i - 1) % n] - lengths[i]
+                if delta:
+                    port_flits[port] += delta
+                    router_flits[index.link_dst[port]] += delta
                 nflits = len(state.flits)
                 if nflits == 0:
                     continue
@@ -382,7 +467,7 @@ class WormholeFabric:
             for vn in range(self.num_vns):
                 state = self.vcs[port][vn][0]
                 while state.flits and state.flits[0].packet.dst == router:
-                    self._eject_flit(router, state)
+                    self._eject_flit(router, state, port)
 
     def _truncate_all(self) -> None:
         """Re-tag every VC's contents as an independent segment."""

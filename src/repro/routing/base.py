@@ -37,6 +37,20 @@ class RoutingFunction(ABC):
     def candidates(self, router: int, packet: Packet) -> List[int]:
         """Output link ids *packet* may take from *router* (dst != router)."""
 
+    def cache_key(self, packet: Packet) -> object:
+        """Hashable summary of the per-packet state ``candidates`` reads.
+
+        The fabric memoizes candidate groups per (router, destination,
+        escape flag); for stateful functions the memo key additionally
+        includes this value, so two packets with equal keys must receive
+        identical candidates. Stateful subclasses must override.
+        """
+        if self.stateful:
+            raise NotImplementedError(
+                f"{type(self).__name__} is stateful but defines no cache_key"
+            )
+        return None
+
     def on_hop(self, packet: Packet, link_id: int) -> None:
         """Update per-packet routing state after traversing *link_id*.
 

@@ -154,6 +154,10 @@ class UpDownRouting(RoutingFunction):
     def on_inject(self, packet: Packet) -> None:
         packet.updown_up_phase = True
 
+    def cache_key(self, packet: Packet) -> object:
+        """Candidates depend only on the packet's phase bit beyond (router, dst)."""
+        return packet.updown_up_phase
+
     def on_hop(self, packet: Packet, link_id: int) -> None:
         if not self.link_is_up[link_id]:
             packet.updown_up_phase = False

@@ -146,7 +146,12 @@ class TraceTraffic:
     def consume(self, fabric: Fabric, cycle: int) -> None:
         if not hasattr(fabric, "pop_ejection"):
             return
+        if not getattr(fabric, "ej_pending_total", 1):
+            return  # nothing ejected anywhere this cycle
+        ej_pending = getattr(fabric, "ej_pending", None)
         for node in range(self.num_nodes):
+            if ej_pending is not None and not ej_pending[node]:
+                continue
             queues = fabric.ej_queues[node]
             for cls in range(len(queues)):
                 while queues[cls]:

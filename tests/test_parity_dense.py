@@ -1,0 +1,165 @@
+"""Fast-path vs dense-reference parity: the active-set kernel's contract.
+
+The fabric's skip-idle scheduling, flat VC buffers, routing memo caches
+and reusable wait-for graphs are pure performance work — ``dense=True``
+retains the pre-optimisation behaviour (full scans, no memoisation,
+per-pass graph rebuilds) over the same storage. These tests pin the two
+modes to bit-identical ``NetworkStats.as_dict()`` across every scheme,
+topology family and load point, including mid-run fault recovery, so any
+future fast-path shortcut that changes semantics (rather than just
+skipping provably-idle work) fails loudly instead of drifting goldens.
+
+The last class audits the scratch-state discipline directly: the kernel
+files carry no ``# det: allow`` pragmas, the determinism lint is clean
+over the whole tree, and per-instance scratch cannot leak between
+fabrics or across back-to-back trials in one process.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.lint import lint_paths
+from repro.core.config import Scheme
+from repro.core.rng import derive_seed
+from repro.core.simulator import Simulation
+from repro.experiments.common import Scale, scheme_config
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.topology.irregular import inject_link_faults
+from repro.topology.mesh import make_mesh, make_torus
+from repro.traffic.synthetic import SyntheticTraffic, pattern_by_name
+
+TINY = Scale(
+    warmup=100,
+    measure=300,
+    fault_patterns=1,
+    sweep_rates=(0.05,),
+    epoch=128,
+    spin_timeout=64,
+)
+
+LOW_RATE = 0.02
+SATURATION_RATE = 0.30
+
+
+def _topology(kind: str):
+    if kind == "mesh":
+        return make_mesh(4, 4), 4
+    if kind == "torus":
+        return make_torus(4, 4), 4
+    if kind == "irregular":
+        return inject_link_faults(make_mesh(4, 4), 2, random.Random(5)), None
+    raise ValueError(kind)
+
+
+def _summary(scheme: Scheme, topo_kind: str, rate: float, dense: bool,
+             flow_control: str = "vct", fault_schedule=None):
+    topology, width = _topology(topo_kind)
+    config = scheme_config(scheme, TINY, seed=1)
+    traffic = SyntheticTraffic(
+        pattern_by_name("uniform_random", topology.num_nodes, width),
+        rate,
+        random.Random(derive_seed(1, "traffic", "uniform_random", rate)),
+    )
+    sim = Simulation(
+        topology, config, traffic,
+        flow_control=flow_control,
+        fault_schedule=fault_schedule,
+        dense=dense,
+    )
+    sim.run(TINY.total_cycles, warmup=TINY.warmup)
+    return sim.stats
+
+
+class TestDenseParity:
+    """dense=True (reference) and dense=False (fast) are bit-identical."""
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    @pytest.mark.parametrize("topo_kind", ["mesh", "torus", "irregular"])
+    @pytest.mark.parametrize("rate", [LOW_RATE, SATURATION_RATE])
+    def test_all_schemes_topologies_loads(self, scheme, topo_kind, rate):
+        fast = _summary(scheme, topo_kind, rate, dense=False)
+        dense = _summary(scheme, topo_kind, rate, dense=True)
+        assert fast.as_dict() == dense.as_dict()
+
+    def test_wormhole_fabric(self):
+        fast = _summary(Scheme.DRAIN, "mesh", 0.10, dense=False,
+                        flow_control="wormhole")
+        dense = _summary(Scheme.DRAIN, "mesh", 0.10, dense=True,
+                         flow_control="wormhole")
+        assert fast.as_dict() == dense.as_dict()
+
+    def test_mid_run_fault_recovery(self):
+        # Faults land mid-measurement: the injector drops slots, rebuilds
+        # routing/escape state and invalidates the memo caches. Parity
+        # here proves the invalidation hooks are sufficient — a stale
+        # candidate-group cache would steer the fast path differently.
+        events = (
+            FaultEvent(cycle=150, kind="link", target=(5, 6)),
+            FaultEvent(cycle=250, kind="link", target=(9, 10)),
+        )
+        schedule = FaultSchedule(events=events, seed=7, onset="uniform")
+        fast = _summary(Scheme.DRAIN, "mesh", 0.10, dense=False,
+                        fault_schedule=schedule)
+        dense = _summary(Scheme.DRAIN, "mesh", 0.10, dense=True,
+                         fault_schedule=schedule)
+        assert fast.as_dict() == dense.as_dict()
+        assert fast.faults_applied >= 1
+        assert fast.faults_applied == dense.faults_applied
+        assert fast.packets_lost == dense.packets_lost
+
+
+class TestScratchDiscipline:
+    """Reusable scratch must stay per-instance and per-trial."""
+
+    def test_kernel_files_carry_no_lint_pragmas(self):
+        # The active-set kernel must pass the determinism lint on its own
+        # merits: an audited-exception pragma in these files would hide
+        # exactly the class of scratch-state bug this suite polices.
+        kernel = [
+            "src/repro/network/fabric.py",
+            "src/repro/network/wormhole.py",
+            "src/repro/network/deadlock.py",
+            "src/repro/bench/cases.py",
+            "src/repro/bench/compare.py",
+        ]
+        for path in kernel:
+            with open(path, "r", encoding="utf-8") as handle:
+                assert "# det: allow" not in handle.read(), path
+        assert lint_paths(kernel) == []
+
+    def test_lint_clean_repo_wide(self):
+        assert lint_paths(["src/repro"]) == []
+
+    def test_no_shared_scratch_between_instances(self):
+        from repro.network.fabric import Fabric
+        from repro.network.index import FabricIndex
+        from repro.router.packet import Packet
+        from repro.routing.adaptive import AdaptiveMinimalRouting
+
+        def build():
+            index = FabricIndex(make_mesh(4, 4))
+            config = scheme_config(Scheme.DRAIN, TINY, seed=1)
+            return Fabric(index, config, AdaptiveMinimalRouting(index),
+                          escape_mode="drain")
+
+        a, b = build(), build()
+        assert a._cand_cache is not b._cand_cache
+        assert a._buf is not b._buf
+        assert a._port_occ is not b._port_occ
+        assert a._router_occ is not b._router_occ
+        # Routing memos must key per-fabric: warming one cache leaves the
+        # other untouched.
+        a.candidate_links(0, Packet(0, 0, 5, gen_cycle=0))
+        assert len(a._cand_cache) == 1
+        assert len(b._cand_cache) == 0
+
+    def test_back_to_back_trials_bit_identical_in_process(self):
+        # Two identical trials in one interpreter: any scratch leaking
+        # across runs (module-level caches, class attributes) would make
+        # the second differ from the first.
+        first = _summary(Scheme.DRAIN, "irregular", 0.10, dense=False)
+        second = _summary(Scheme.DRAIN, "irregular", 0.10, dense=False)
+        assert first.as_dict() == second.as_dict()

@@ -138,10 +138,7 @@ class TestTruncation:
         # Give the injection VC enough room for the whole packet.
         fabric.vc_depth = 2
         inj_port = fabric.index.num_links + 0
-        state = fabric.vcs[inj_port][0][0]
-        for flit in make_flits(packet, 8):
-            state.flits.append(flit)
-        fabric.flits_in_network += 8
+        fabric.seed_flits(inj_port, 0, 0, make_flits(packet, 8))
         fabric._packet_sizes[0] = 8
         fabric.packets_in_flight += 1
         for _ in range(4):
