@@ -54,6 +54,17 @@ class IdealResolver:
         self.fabric = fabric
         self.check_interval = max(1, check_interval)
 
+    def next_event_cycle(self, now: int) -> int:
+        """Next oracle tick (the conservative event-horizon clamp).
+
+        With the default 2-cycle interval this effectively disables
+        fast-forward for the IDEAL scheme — an accepted cost: the oracle
+        is a measurement bound, not a performance target.
+        """
+        interval = self.check_interval
+        rem = now % interval
+        return now if rem == 0 else now + interval - rem
+
     def step(self) -> None:
         fabric = self.fabric
         if fabric.cycle % self.check_interval:
@@ -92,6 +103,18 @@ class DeadlockWatchdog:
         self.check_interval = max(1, check_interval)
         self.grace = grace
         self.deadlocked = False
+
+    def next_event_cycle(self, now: int) -> int:
+        """Next check tick: the watchdog never sleeps past one.
+
+        A quiescent network cannot deadlock, so the tick is provably a
+        no-op under the fast-forward's entry condition — but clamping to
+        it keeps the halt-on-deadlock contract ("checked every
+        ``check_interval`` cycles") independent of that reasoning.
+        """
+        interval = self.check_interval
+        rem = now % interval
+        return now if rem == 0 else now + interval - rem
 
     def step(self) -> None:
         fabric = self.fabric
@@ -243,6 +266,27 @@ class Simulation:
                 max_circuits=fault_max_circuits,
             )
 
+        #: Reference mode: plain per-cycle stepping, no fast-forward.
+        self.dense = bool(dense)
+        #: Event-horizon hooks — every wired side component's
+        #: ``next_event_cycle``; :meth:`_event_horizon` takes their min.
+        self._horizon_hooks = [
+            component.next_event_cycle
+            for component in (
+                self.fault_injector,
+                self.drain_controller,
+                self.spin_controller,
+                self.bubble_controller,
+                self.ideal_resolver,
+                self.watchdog,
+            )
+            if component is not None
+        ]
+        #: Fast-forward telemetry (not part of NetworkStats — outputs stay
+        #: bit-identical to dense runs): spans entered and cycles covered.
+        self.ff_spans = 0
+        self.ff_cycles = 0
+
     # ------------------------------------------------------------------
     @property
     def deadlocked(self) -> bool:
@@ -276,19 +320,134 @@ class Simulation:
 
         Stops early when the traffic source reports completion (closed-loop
         workloads) or — with ``halt_on_deadlock`` — when the watchdog fires.
+
+        Unless ``dense=True``, quiescent stretches are fast-forwarded: when
+        nothing is buffered, queued or in flight anywhere, the run computes
+        the event horizon (the earliest cycle any side component may act)
+        and skips to it — or to the first cycle the traffic source actually
+        generates a packet — replaying only the per-cycle state a dense
+        idle loop would touch. Outputs are bit-identical either way; the
+        parity suite pins it.
         """
         if warmup >= cycles:
             raise ValueError("warmup must be shorter than the run")
         fabric = self.fabric
+        traffic = self.traffic
         fabric.measure_from = fabric.cycle + warmup
-        for _ in range(cycles):
+        end = fabric.cycle + cycles
+        fast = not self.dense
+        while fabric.cycle < end:
+            if fast and fabric.quiescent and not traffic.done():
+                consumed = self._fast_forward(end)
+                if consumed:
+                    self.ff_spans += 1
+                    self.ff_cycles += consumed
+                    # Nothing is delivered inside a span (a packet injected
+                    # on its final cycle is still in a VC), so done() and
+                    # the watchdog cannot have flipped mid-span.
+                    continue
             self.step()
-            if self.traffic.done():
+            if traffic.done():
                 break
             if self.halt_on_deadlock and self.deadlocked:
                 break
         self.stats.measured_cycles = max(0, fabric.cycle - fabric.measure_from)
         return self.stats
+
+    # ------------------------------------------------------------------
+    # Event-horizon fast-forward (see DESIGN.md, "Performance architecture")
+    # ------------------------------------------------------------------
+    def _event_horizon(self, now: int, end: int) -> int:
+        """Earliest cycle in (*now*, *end*] that must run densely.
+
+        The min over the wired components' ``next_event_cycle`` hooks, the
+        measurement boundary and the end of the run. Every cycle strictly
+        before the returned value is guaranteed to be an observable no-op
+        for every side component — provided the fabric stays quiescent,
+        which the caller's span construction guarantees.
+        """
+        horizon = end
+        measure_from = self.fabric.measure_from
+        if now < measure_from < horizon:
+            horizon = measure_from
+        for hook in self._horizon_hooks:
+            nxt = hook(now)
+            if nxt is not None and nxt < horizon:
+                horizon = nxt
+        return horizon
+
+    def _fast_forward(self, end: int) -> int:
+        """Skip from a quiescent state; returns the cycles consumed (0 = run
+        the current cycle densely instead).
+
+        Two source shapes:
+
+        - Bernoulli-style sources expose ``idle_generate``, which replays
+          the exact per-cycle RNG draws up to the horizon and completes
+          the first generating cycle's generate phase. All fully idle
+          cycles are skipped in O(1); if a packet was created, the
+          generating cycle's remaining phases run densely here (its
+          controllers are provably no-ops — the cycle is strictly before
+          the horizon — but they run anyway, keeping the cycle's phase
+          order intact for anything they might legitimately do).
+        - Trace/closed-gap sources expose ``next_event_cycle`` instead;
+          the whole gap is skipped in O(1) and the arrival cycle runs
+          densely via the main loop.
+        """
+        fabric = self.fabric
+        traffic = self.traffic
+        now = fabric.cycle
+        horizon = self._event_horizon(now, end)
+        budget = horizon - now
+        if budget < 2:
+            return 0
+        idle_generate = getattr(traffic, "idle_generate", None)
+        if idle_generate is None:
+            next_arrival = getattr(traffic, "next_event_cycle", None)
+            if next_arrival is None:
+                return 0  # source without fast-forward support: stay dense
+            arrival = next_arrival(now)
+            span = budget if arrival is None else min(budget, arrival - now)
+            if span <= 0:
+                return 0
+            fabric.skip_cycles(span)
+            if self.drain_controller is not None:
+                self.drain_controller.skip_cycles(span)
+            return span
+
+        consumed = idle_generate(fabric, now, budget)
+        if consumed <= 0:
+            return 0
+        if fabric.quiescent:
+            # Every consumed cycle was fully idle (any packet created was
+            # swallowed as unroutable and left no trace in the fabric).
+            fabric.skip_cycles(consumed)
+            if self.drain_controller is not None:
+                self.drain_controller.skip_cycles(consumed)
+            return consumed
+        # The final consumed cycle generated packets (they sit in NI
+        # injection queues). Skip the idle prefix, then finish that cycle
+        # densely: everything step() does after traffic.generate.
+        prefix = consumed - 1
+        if prefix:
+            fabric.skip_cycles(prefix)
+            if self.drain_controller is not None:
+                self.drain_controller.skip_cycles(prefix)
+        if self.fault_injector is not None:
+            self.fault_injector.step()
+        if self.drain_controller is not None:
+            self.drain_controller.step()
+        if self.spin_controller is not None:
+            self.spin_controller.step()
+        if self.bubble_controller is not None:
+            self.bubble_controller.step()
+        if self.ideal_resolver is not None:
+            self.ideal_resolver.step()
+        if self.watchdog is not None:
+            self.watchdog.step()
+        fabric.step()
+        traffic.consume(fabric, fabric.cycle)
+        return consumed
 
     def throughput(self) -> float:
         """Received packets/node/cycle over the measured window."""

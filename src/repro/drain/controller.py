@@ -187,6 +187,39 @@ class DrainController:
             self._finish_window()
 
     # ------------------------------------------------------------------
+    # Event-horizon interface (Simulation's fast-forward engine)
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, now: int) -> int:
+        """First cycle at which :meth:`step` does more than count down.
+
+        In the normal state the controller's only per-cycle effect is the
+        epoch decrement, which :meth:`skip_cycles` replays in O(1); the
+        freeze fires on the step that takes the countdown to zero, i.e.
+        ``countdown - 1`` cycles from now. Any in-window state needs dense
+        stepping immediately (the fabric is frozen then anyway, so a
+        quiescence-gated caller never actually sees it).
+        """
+        if self._state != "normal":
+            return now
+        return now + self._countdown - 1
+
+    def skip_cycles(self, count: int) -> None:
+        """Replay *count* normal-state countdown decrements at once.
+
+        The caller must stay strictly before :meth:`next_event_cycle`'s
+        answer, so the countdown never reaches zero inside a skip — the
+        freeze decision always happens in a dense :meth:`step`.
+        """
+        if count <= 0:
+            return
+        if self._state != "normal" or count >= self._countdown:
+            raise RuntimeError(
+                f"skip_cycles({count}) past the drain horizon "
+                f"(state={self._state}, countdown={self._countdown})"
+            )
+        self._countdown -= count
+
+    # ------------------------------------------------------------------
     def _enter_drain(self) -> None:
         self._windows_done += 1
         self.fabric.stats.drain_windows += 1

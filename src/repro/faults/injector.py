@@ -122,6 +122,38 @@ class FaultInjector:
         if self.curve_window and cycle and cycle % self.curve_window == 0:
             self._sample_curve(cycle)
 
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """First cycle >= *now* at which :meth:`step` may act; None = never.
+
+        The minimum over the four pipelines: the next unapplied schedule
+        event, the earliest pending transient repair, the earliest pending
+        retransmission, and (with curve sampling on) the next
+        ``curve_window`` boundary. On every cycle strictly before the
+        returned value :meth:`step` provably mutates nothing.
+        """
+        nxt: Optional[int] = None
+        if self._next_event < len(self._events):
+            nxt = self._events[self._next_event].cycle
+        for ready, _, _ in self._repairs:
+            if nxt is None or ready < nxt:
+                nxt = ready
+        for ready, _, _, _ in self._retransmit:
+            if nxt is None or ready < nxt:
+                nxt = ready
+        if self.curve_window:
+            window = self.curve_window
+            if now <= 0:
+                boundary = window  # _sample_curve skips cycle 0
+            elif now % window == 0:
+                boundary = now
+            else:
+                boundary = (now // window + 1) * window
+            if nxt is None or boundary < nxt:
+                nxt = boundary
+        if nxt is not None and nxt < now:
+            nxt = now
+        return nxt
+
     # ------------------------------------------------------------------
     def _apply_repairs(self, cycle: int) -> bool:
         due = [r for r in self._repairs if r[0] <= cycle]

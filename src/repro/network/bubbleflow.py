@@ -89,6 +89,12 @@ class BubbleFlowFabric(Fabric):
     column's Y ring. The base allocation loop exposes the input port being
     served (``_serving_port``); ``_pick_vc`` vetoes claims that would
     enter a ring without leaving a bubble.
+
+    Event-horizon note: the inherited ``quiescent``/``skip_cycles`` pair
+    stays sound here — the only extra per-cycle state, the
+    ``_pending_entries`` admission ledger, is cleared at the *start* of
+    every movement stage, so a skipped idle cycle (which would only have
+    cleared an already-empty dict) leaves nothing stale behind.
     """
 
     def __init__(self, index: FabricIndex, config: SimConfig,

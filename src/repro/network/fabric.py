@@ -41,7 +41,13 @@ Performance architecture (see DESIGN.md, "Performance architecture"):
   fault reconfiguration (``FabricIndex.fault_epoch``) or explicit
   :meth:`invalidate_routing_cache` calls;
 - ``dense=True`` retains the pre-optimization reference sweep (no skip
-  checks, no memoization) for the parity test suite.
+  checks, no memoization) for the parity test suite;
+- the :attr:`quiescent` predicate folds the occupancy counters into a
+  single "nothing in the network, nothing pending at any NI" test, and
+  :meth:`skip_cycles` fast-forwards a quiescent fabric across *n* cycles
+  by advancing only the state a dense idle cycle would mutate (cycle
+  counter, stats cycle counter, the injection-fairness rotation). The
+  event-horizon engine in ``Simulation.run`` is the only caller.
 """
 
 from __future__ import annotations
@@ -200,8 +206,10 @@ class Fabric:
         self._inj_depth = depth_in
         self._ej_depth = self.net.ejection_queue_depth
         #: Queued injection-side packets per node (active-set hint; packets
-        #: enqueued through :meth:`offer_packet` keep it exact).
+        #: enqueued through :meth:`offer_packet` keep it exact), plus the
+        #: network-wide total backing the :attr:`quiescent` predicate.
         self._inj_pending: List[int] = [0] * index.num_nodes
+        self._inj_total = 0
         #: Ejection-queue occupancy per node plus the network-wide total
         #: (lets traffic sinks skip nodes with nothing to consume).
         self.ej_pending: List[int] = [0] * index.num_nodes
@@ -305,6 +313,7 @@ class Fabric:
             return False
         queue.append(packet)
         self._inj_pending[packet.src] += 1
+        self._inj_total += 1
         return True
 
     def injection_space(self, node: int, msg_class: MessageClass) -> int:
@@ -497,6 +506,7 @@ class Fabric:
                     continue
                 packet = queue.popleft()
                 inj_pending[node] -= 1
+                self._inj_total -= 1
                 packet.vn = vn
                 packet.net_entry_cycle = self.cycle
                 packet.blocked_since = self.cycle
@@ -751,6 +761,55 @@ class Fabric:
         self.stats.cycles += 1
 
     # ------------------------------------------------------------------
+    # Quiescence / event-horizon fast-forward
+    # ------------------------------------------------------------------
+    @property
+    def quiescent(self) -> bool:
+        """True when a :meth:`step` would be an observable no-op.
+
+        Folds the active-set counters: no packet in any VC, nothing queued
+        at any NI (injection or ejection side), no serialised transfer on
+        a wire, and not frozen by a drain window. On such a cycle both
+        pipeline stages return without touching buffers or the LCG, so the
+        only state a dense step mutates is the cycle counters and the
+        injection-fairness rotation — exactly what :meth:`skip_cycles`
+        replays.
+        """
+        return (
+            self.packets_in_network == 0
+            and self._inj_total == 0
+            and self.ej_pending_total == 0
+            and not self._in_flight
+            and not self.frozen
+        )
+
+    def skip_cycles(self, count: int) -> None:
+        """Fast-forward *count* provably idle cycles in O(1).
+
+        Callers must hold the event-horizon contract: the fabric is
+        quiescent on the *router* side (no buffered packets, no transfers,
+        not frozen) for the whole span. NI injection-queue content is
+        tolerated — ``Simulation._fast_forward`` completes the cycle that
+        generated it densely, and that packet's injection happens strictly
+        after this skip — but a buffered packet would have moved, so that
+        is a contract violation, not a tolerable approximation.
+        """
+        if count <= 0:
+            return
+        if (self.packets_in_network or self._in_flight or self.frozen
+                or self.ej_pending_total):
+            raise RuntimeError(
+                "skip_cycles on a non-quiescent fabric: "
+                f"{self.packets_in_network} buffered, "
+                f"{len(self._in_flight)} in flight, frozen={self.frozen}"
+            )
+        self.cycle += count
+        self.stats.cycles += count
+        # inject_stage advances the class-rotation counter every non-frozen
+        # cycle even when every NI queue is empty.
+        self._inj_rr = (self._inj_rr + count) % _NUM_CLASSES
+
+    # ------------------------------------------------------------------
     # Draining (called by DrainController during drain windows)
     # ------------------------------------------------------------------
     def drain_rotate_escape(self, path_ports: List[int]) -> None:
@@ -926,6 +985,7 @@ class Fabric:
             while queue:
                 dropped.append(queue.popleft())
                 self._inj_pending[router] -= 1
+                self._inj_total -= 1
         for queue in self.ej_queues[router]:
             while queue:
                 dropped.append(queue.popleft())
@@ -962,6 +1022,7 @@ class Fabric:
                         dropped.append(p)
                 if len(keep) != len(queue):
                     self._inj_pending[node] -= len(queue) - len(keep)
+                    self._inj_total -= len(queue) - len(keep)
                     queue.clear()
                     queue.extend(keep)
         return dropped

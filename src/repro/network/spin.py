@@ -16,7 +16,7 @@ exactly the machinery in this file; DRAIN needs none of it.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.config import SpinConfig
 from .deadlock import Slot, extract_cycle, find_deadlocked_slots, rotate_cycle
@@ -35,6 +35,22 @@ class SpinController:
         #: (fire_cycle, anchor_slot) pairs for probes in flight.
         self._pending: List[Tuple[int, Slot]] = []
         self._last_spin_cycle = -(10**9)
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """First cycle >= *now* at which :meth:`step` may act.
+
+        Pending probes fire on their recorded cycle (and firing mutates
+        the pending list even when the deadlock has dissolved), so the
+        earliest pending fire clamps the horizon alongside the next
+        detection tick.
+        """
+        interval = self.check_interval
+        rem = now % interval
+        nxt = now if rem == 0 else now + interval - rem
+        for fire, _ in self._pending:
+            if fire < nxt:
+                nxt = fire
+        return max(nxt, now)
 
     def step(self) -> None:
         """Run SPIN's per-cycle work: fire due spins, launch due probes."""

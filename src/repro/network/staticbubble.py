@@ -51,6 +51,21 @@ class StaticBubbleController:
     def occupied_bubbles(self) -> int:
         return sum(1 for p in self.bubbles.values() if p is not None)
 
+    def next_event_cycle(self, now: int) -> int:
+        """First cycle >= *now* at which :meth:`step` may act.
+
+        An occupied bubble re-enters the network opportunistically every
+        cycle, so any occupancy pins the horizon to *now*; otherwise only
+        the detection tick matters. (A quiescence-gated caller never sees
+        an occupied bubble — bubble packets still count in
+        ``packets_in_network`` — but the hook stays correct standalone.)
+        """
+        if self.occupied_bubbles():
+            return now
+        interval = self.check_interval
+        rem = now % interval
+        return now if rem == 0 else now + interval - rem
+
     def step(self) -> None:
         self._drain_bubbles()
         fabric = self.fabric

@@ -127,6 +127,7 @@ class WormholeFabric:
         self._port_flits: List[int] = [0] * index.num_ports
         self._router_flits: List[int] = [0] * index.num_nodes
         self._inj_pending: List[int] = [0] * index.num_nodes
+        self._inj_total = 0
         #: Candidate-group memo, keyed (router, dst[, routing state]);
         #: see Fabric.candidate_links for the invalidation contract.
         self._cand_cache: Dict = {}
@@ -141,6 +142,7 @@ class WormholeFabric:
             return False
         queue.append(packet)
         self._inj_pending[packet.src] += 1
+        self._inj_total += 1
         return True
 
     # ------------------------------------------------------------------
@@ -153,6 +155,39 @@ class WormholeFabric:
             self._injection_stage()
         self.cycle += 1
         self.stats.cycles += 1
+
+    @property
+    def quiescent(self) -> bool:
+        """True when a :meth:`step` would be an observable no-op.
+
+        No flit buffered anywhere (ejection is immediate on flit arrival,
+        so there is no ejection-side residue to check), nothing queued at
+        any NI, and not frozen. See ``Fabric.quiescent`` for the contract.
+        """
+        return (
+            self.flits_in_network == 0
+            and self._inj_total == 0
+            and not self.frozen
+        )
+
+    def skip_cycles(self, count: int) -> None:
+        """Fast-forward *count* provably idle cycles in O(1).
+
+        Same contract as ``Fabric.skip_cycles``: router-side quiescence is
+        mandatory, NI injection-queue content (the cycle being completed
+        densely by the caller) is tolerated. The wormhole pipeline keeps
+        no fairness counter outside ``cycle`` itself, so only the cycle
+        counters advance.
+        """
+        if count <= 0:
+            return
+        if self.flits_in_network or self.frozen:
+            raise RuntimeError(
+                "skip_cycles on a non-quiescent wormhole fabric: "
+                f"{self.flits_in_network} flits buffered, frozen={self.frozen}"
+            )
+        self.cycle += count
+        self.stats.cycles += count
 
     def invalidate_routing_cache(self) -> None:
         """Drop memoized candidate groups (routing tables changed)."""
@@ -375,6 +410,7 @@ class WormholeFabric:
                     continue
                 packet = queue.popleft()
                 inj_pending[node] -= 1
+                self._inj_total -= 1
                 packet.vn = vn
                 packet.net_entry_cycle = self.cycle
                 packet.blocked_since = self.cycle

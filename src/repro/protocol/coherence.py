@@ -120,6 +120,70 @@ class CoherenceTraffic:
                 self.outstanding[node] += 1
                 self.issued += 1
 
+    def idle_generate(self, fabric: Fabric, cycle: int, budget: int) -> int:
+        """Replay :meth:`generate` across up to *budget* known-idle cycles.
+
+        During an idle span nothing is delivered, so ``outstanding`` and
+        ``issued`` are frozen until the first issue attempt succeeds: the
+        set of nodes that draw each cycle (free MSHR, quota not yet
+        reached) is fixed and precomputable. The loop performs exactly the
+        dense per-cycle draws — one ``rng.random()`` per eligible node —
+        and completes the first cycle that issues via the dense logic
+        (home/forward draws, NI offer, MSHR bookkeeping) before bailing.
+
+        Returns the number of cycles consumed, each generate-complete.
+        """
+        rng = self.rng
+        rand = rng.random
+        p = self.issue_probability
+        cfg = self.config
+        total = self.total_transactions
+        if total is not None and self.issued >= total:
+            # Quota reached: generate() draws nothing — the span is free.
+            return budget
+        eligible = [
+            node for node in range(self.num_nodes)
+            if self.outstanding[node] < cfg.mshrs_per_node
+        ]
+        if not eligible:
+            return budget
+        consumed = 0
+        while consumed < budget:
+            now = cycle + consumed
+            consumed += 1
+            for i, node in enumerate(eligible):
+                if rand() >= p:
+                    continue
+                # First hit: finish this cycle's issue — and the remaining
+                # eligible nodes — with the dense logic (issued may reach
+                # the quota mid-cycle, which stops further draws exactly
+                # as generate()'s per-node quota check does).
+                self._issue(fabric, node, now)
+                for later in eligible[i + 1:]:
+                    if total is not None and self.issued >= total:
+                        break
+                    if rand() < p:
+                        self._issue(fabric, later, now)
+                return consumed
+        return consumed
+
+    def _issue(self, fabric: Fabric, node: int, cycle: int) -> None:
+        """One issue attempt past the Bernoulli draw (generate()'s body)."""
+        rng = self.rng
+        cfg = self.config
+        if fabric.injection_space(node, MessageClass.REQ) <= 0:
+            return
+        home = self._pick_home(node)
+        req = self._make_packet(node, home, MessageClass.REQ, cycle)
+        req.txn_id = self._next_txn
+        self._next_txn += 1
+        req.needs_fwd = rng.random() < cfg.forward_probability
+        if req.needs_fwd:
+            req.fwd_target = self._pick_other(node, home)
+        if fabric.offer_packet(req):
+            self.outstanding[node] += 1
+            self.issued += 1
+
     def consume(self, fabric: Fabric, cycle: int) -> None:
         """Per-cycle NI/directory/cache processing at every node.
 
@@ -128,7 +192,12 @@ class CoherenceTraffic:
         dependent message it spawns; otherwise it stays in its ejection
         queue and backpressures the network.
         """
+        if not getattr(fabric, "ej_pending_total", 1):
+            return  # nothing ejected anywhere this cycle
+        ej_pending = getattr(fabric, "ej_pending", None)
         for node in range(self.num_nodes):
+            if ej_pending is not None and not ej_pending[node]:
+                continue
             # Responses: the sink class, always consumable.
             resp = fabric.peek_ejection(node, MessageClass.RESP)
             if resp is not None:

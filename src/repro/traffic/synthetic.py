@@ -256,6 +256,10 @@ class SyntheticTraffic:
         ]
         self._next_pid = 0
         self.generated = 0
+        #: Per-packet observer (``hook(packet)``); the trace recorder sets
+        #: it so generation events are captured at the source, whether the
+        #: packet comes out of :meth:`generate` or :meth:`idle_generate`.
+        self._record_hook = None
 
     def generate(self, fabric: Fabric, cycle: int) -> None:
         rng = self.rng
@@ -270,9 +274,65 @@ class SyntheticTraffic:
                     self._next_pid += 1
                     self.generated += 1
                     self._backlog[node].append(packet)
+                    if self._record_hook is not None:
+                        self._record_hook(packet)
             backlog = self._backlog[node]
             while backlog and fabric.offer_packet(backlog[0]):
                 backlog.popleft()
+
+    def idle_generate(self, fabric: Fabric, cycle: int, budget: int) -> int:
+        """Replay :meth:`generate` across up to *budget* known-idle cycles.
+
+        The event-horizon fast-forward (``Simulation._fast_forward``) calls
+        this when the fabric is quiescent: every source backlog is empty
+        (a queued packet would imply a full NI queue, contradicting
+        quiescence), so a cycle's generate pass reduces to the Bernoulli
+        draws. This loop performs *exactly* the dense per-cycle RNG draws
+        — one ``rng.random()`` per node, plus the pattern's destination
+        draws on a hit — and bails out at the end of the first cycle that
+        actually created a packet, after running that cycle's offer sweep.
+
+        Returns the number of cycles consumed, each generate-complete.
+        When the fabric is no longer quiescent (or a backlog is non-empty,
+        for patterns that can generate unroutable-swallowed packets under
+        faults), the final consumed cycle generated packets and the caller
+        must finish its remaining phases densely; otherwise every consumed
+        cycle was fully idle.
+        """
+        rng = self.rng
+        rand = rng.random
+        rate = self.injection_rate
+        destination = self.pattern.destination
+        num_nodes = self.pattern.num_nodes
+        msg_class = self.msg_class
+        consumed = 0
+        while consumed < budget:
+            now = cycle + consumed
+            consumed += 1
+            hit = False
+            for node in range(num_nodes):
+                if rand() < rate:
+                    dst = destination(node, rng)
+                    if dst is not None:
+                        packet = Packet(
+                            self._next_pid, node, dst, msg_class, gen_cycle=now
+                        )
+                        self._next_pid += 1
+                        self.generated += 1
+                        self._backlog[node].append(packet)
+                        if self._record_hook is not None:
+                            self._record_hook(packet)
+                        hit = True
+            if hit:
+                # Same offer sweep as generate(); offers draw no RNG, so
+                # running them after the node loop is observationally
+                # identical to the dense interleaving.
+                for node in range(num_nodes):
+                    backlog = self._backlog[node]
+                    while backlog and fabric.offer_packet(backlog[0]):
+                        backlog.popleft()
+                return consumed
+        return consumed
 
     def consume(self, fabric: Fabric, cycle: int) -> None:
         """Sink every ejected packet immediately (ideal NI consumption).

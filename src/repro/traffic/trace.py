@@ -16,7 +16,7 @@ import io
 import random
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, List, Optional, Union
 
 from ..network.fabric import Fabric
 from ..router.packet import MessageClass, Packet
@@ -47,25 +47,27 @@ class TraceRecord:
 
 
 class TraceRecorder(SyntheticTraffic):
-    """A synthetic traffic source that also logs every generated packet."""
+    """A synthetic traffic source that also logs every generated packet.
+
+    Recording rides the generator's ``_record_hook``, so every packet is
+    captured at creation time — before the offer sweep moves it out of
+    the source backlog, and regardless of whether it was produced by the
+    dense :meth:`~SyntheticTraffic.generate` or the fast-forward
+    :meth:`~SyntheticTraffic.idle_generate` path. (The previous
+    implementation scanned the backlog *after* the offer sweep and missed
+    every packet the NI accepted immediately — i.e. nearly all of them.)
+    """
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.records: List[TraceRecord] = []
+        self._record_hook = self._record
 
-    def generate(self, fabric: Fabric, cycle: int) -> None:
-        before = self.generated
-        super().generate(fabric, cycle)
-        # Packets appended to backlogs this cycle were generated this cycle.
-        new = self.generated - before
-        if new:
-            for node in range(self.pattern.num_nodes):
-                for packet in self._backlog[node]:
-                    if packet.gen_cycle == cycle:
-                        self.records.append(
-                            TraceRecord(cycle, packet.src, packet.dst,
-                                        int(packet.msg_class))
-                        )
+    def _record(self, packet: Packet) -> None:
+        self.records.append(
+            TraceRecord(packet.gen_cycle, packet.src, packet.dst,
+                        int(packet.msg_class))
+        )
 
     def save(self, target: Union[str, Path, io.TextIOBase]) -> None:
         save_trace(self.records, target)
@@ -165,6 +167,20 @@ class TraceTraffic:
             and not any(self._backlog)
             and self.delivered >= self.generated
         )
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """First cycle >= *now* at which :meth:`generate` may act.
+
+        Trace replay has no per-cycle RNG, so idle gaps between recorded
+        arrivals are skippable in O(1): the next event is simply the next
+        unreplayed record's cycle. A non-empty backlog (an NI queue was
+        full) pins the horizon to *now*; exhausted traces report None.
+        """
+        if any(self._backlog):
+            return now
+        if self._cursor < len(self.records):
+            return max(now, self.records[self._cursor].cycle)
+        return None
 
     def backlog_size(self) -> int:
         return sum(len(b) for b in self._backlog)

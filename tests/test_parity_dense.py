@@ -84,6 +84,30 @@ class TestDenseParity:
         dense = _summary(scheme, topo_kind, rate, dense=True)
         assert fast.as_dict() == dense.as_dict()
 
+    def test_fast_forward_engages_at_idle_rate(self):
+        # At a near-idle rate the event-horizon engine must actually skip
+        # (not just trivially match dense because it never fired) and the
+        # stats must still be bit-identical.
+        topology, width = _topology("mesh")
+        results = {}
+        for dense in (False, True):
+            config = scheme_config(Scheme.DRAIN, TINY, seed=1)
+            traffic = SyntheticTraffic(
+                pattern_by_name("uniform_random", topology.num_nodes, width),
+                0.0005,
+                random.Random(derive_seed(1, "traffic", "uniform_random",
+                                          0.0005)),
+            )
+            sim = Simulation(topology, config, traffic, dense=dense)
+            sim.run(TINY.total_cycles, warmup=TINY.warmup)
+            results[dense] = sim.stats.as_dict()
+            if not dense:
+                assert sim.ff_spans > 0
+                assert sim.ff_cycles > TINY.total_cycles // 2
+            else:
+                assert sim.ff_cycles == 0
+        assert results[False] == results[True]
+
     def test_wormhole_fabric(self):
         fast = _summary(Scheme.DRAIN, "mesh", 0.10, dense=False,
                         flow_control="wormhole")
