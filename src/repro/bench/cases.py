@@ -77,7 +77,9 @@ def _drain_sim(width: int, rate: float, scale: common.Scale, seed: int = 1):
     return Simulation(topology, config, traffic)
 
 
-_MOVEMENT_CYCLES = 1500
+# Sized so one measurement runs long enough (hundreds of ms) that the
+# >25% CI regression tolerance cannot be tripped by scheduler noise.
+_MOVEMENT_CYCLES = 3000
 
 
 def _setup_micro_movement() -> Callable[[], None]:
@@ -95,7 +97,9 @@ def _setup_micro_movement() -> Callable[[], None]:
     return run
 
 
-_INJECTION_CYCLES = 400
+# Same flake guard as _MOVEMENT_CYCLES: injection cycles are fast, so the
+# case needs many of them for a stable per-cycle figure.
+_INJECTION_CYCLES = 1600
 
 
 def _setup_micro_injection() -> Callable[[], None]:

@@ -40,6 +40,7 @@ def config_to_dict(config: SimConfig) -> Dict[str, Any]:
         "seed": config.seed,
         "deadlock_check_interval": config.deadlock_check_interval,
         "deadlock_grace": config.deadlock_grace,
+        "engine": config.engine,
     }
     for section, _cls in _SECTIONS.items():
         out[section] = dataclasses.asdict(getattr(config, section))
@@ -53,6 +54,7 @@ def config_from_dict(data: Dict[str, Any]) -> SimConfig:
     seed = payload.pop("seed", 1)
     check = payload.pop("deadlock_check_interval", 128)
     grace = payload.pop("deadlock_grace", 64)
+    engine = payload.pop("engine", "auto")
     sections: Dict[str, Any] = {}
     for section, cls in _SECTIONS.items():
         raw = payload.pop(section, {})
@@ -70,6 +72,7 @@ def config_from_dict(data: Dict[str, Any]) -> SimConfig:
         seed=seed,
         deadlock_check_interval=check,
         deadlock_grace=grace,
+        engine=engine,
         **sections,
     )
 

@@ -155,6 +155,7 @@ class Simulation:
         fault_curve_window: int = 0,
         fault_max_circuits: int = 512,
         dense: bool = False,
+        engine: Optional[str] = None,
     ) -> None:
         if flow_control not in ("vct", "wormhole"):
             raise ValueError("flow_control must be 'vct' or 'wormhole'")
@@ -214,6 +215,8 @@ class Simulation:
                 rng=rng_mod.spawn(config.seed, "fabric"),
                 dense=dense,
             )
+            # The wormhole fabric is a standalone scalar pipeline; the
+            # engine knob does not apply (class attrs report that).
         else:
             self.fabric = Fabric(
                 self.index,
@@ -224,6 +227,7 @@ class Simulation:
                 stats=self.stats,
                 rng=rng_mod.spawn(config.seed, "fabric"),
                 dense=dense,
+                engine=engine,
             )
 
         self.drain_controller: Optional[DrainController] = None

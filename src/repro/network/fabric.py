@@ -61,6 +61,7 @@ from ..core.metrics import NetworkStats
 from ..router.packet import MessageClass, Packet
 from ..routing.base import RoutingFunction
 from .index import FabricIndex
+from .vectorized import VectorizedEngine
 
 __all__ = ["Fabric", "EJECT"]
 
@@ -164,9 +165,14 @@ class Fabric:
         stats: Optional[NetworkStats] = None,
         rng: Optional[random.Random] = None,
         dense: bool = False,
+        engine: Optional[str] = None,
     ) -> None:
         if escape_mode not in (None, "drain", "escape_vc"):
             raise ValueError(f"unknown escape mode {escape_mode!r}")
+        if engine is None:
+            engine = config.engine
+        if engine not in ("auto", "scalar", "vectorized"):
+            raise ValueError(f"unknown engine {engine!r}")
         if escape_mode == "escape_vc" and escape_routing is None:
             raise ValueError("escape_vc mode requires an escape routing function")
         self.index = index
@@ -183,6 +189,12 @@ class Fabric:
         self.num_vns = self.net.num_vns
         self.vcs_per_vn = self.net.vcs_per_vn
         self.escape_sticky = config.drain.escape_sticky
+
+        #: Vectorized-engine hook state. ``_engine_avail`` must exist before
+        #: the first buffer write: ``_slot_set`` mirrors every write into
+        #: the engine's availability masks once an engine is installed.
+        self._engine = None
+        self._engine_avail: Optional[bytearray] = None
 
         #: Flat VC storage: slot (port, vn, vc) lives at
         #: ``port * _port_stride + vn * vcs_per_vn + vc``.
@@ -257,6 +269,37 @@ class Fabric:
             if fn is not None and fn.stateful
         )
 
+        # Engine selection (see DESIGN.md, "Vectorized kernel"): dense is
+        # the reference sweep and always wins; otherwise "auto" and
+        # "vectorized" install the batched kernel when its support
+        # conditions hold, and fall back to the scalar path — silently,
+        # with the reason recorded — when they don't.
+        #: Resolved engine: "dense", "scalar" or "vectorized".
+        self.engine_name: str = "dense" if self.dense else "scalar"
+        #: Why a requested/auto vectorized engine was not installed.
+        self.engine_fallback_reason: Optional[str] = None
+        if not self.dense and engine != "scalar":
+            reason = self._engine_structural_reason()
+            if reason is None:
+                reason = VectorizedEngine.unsupported_reason(self)
+            if reason is None:
+                self._engine = VectorizedEngine(self)
+                self._engine_avail = self._engine.avail
+                self.engine_name = "vectorized"
+            else:
+                self.engine_fallback_reason = reason
+
+    def _engine_structural_reason(self) -> Optional[str]:
+        """Fabric-level conditions the vectorized engine cannot handle."""
+        if type(self) is not Fabric:
+            return f"flow-control subclass ({type(self).__name__})"
+        if self.packet_size_flits != 1:
+            return "multi-flit packets (serialised link transfers)"
+        if self.vcs_per_vn != 2:
+            return (f"vcs_per_vn={self.vcs_per_vn} "
+                    "(the kernel is specialised for 2 VCs per VN)")
+        return None
+
     # ------------------------------------------------------------------
     # Flat-buffer slot primitives (the only legal buffer mutators)
     # ------------------------------------------------------------------
@@ -286,6 +329,13 @@ class Fabric:
         elif packet is None:
             self._port_occ[port] -= 1
             self._router_occ[self.index.port_router[port]] -= 1
+        av = self._engine_avail
+        if av is not None:
+            ai = port * self.num_vns + vn
+            if packet is None:
+                av[ai] |= 1 << vc
+            else:
+                av[ai] &= ~(1 << vc) & 0xFF
 
     # ------------------------------------------------------------------
     # NI-side API (used by traffic generators and protocol models)
@@ -324,7 +374,12 @@ class Fabric:
         queue = self.ej_queues[node][msg_class]
         return queue[0] if queue else None
 
-    def pop_ejection(self, node: int, msg_class: MessageClass) -> Packet:
+    def pop_ejection(self, node: int, msg_class: int) -> Packet:
+        """Dequeue the head packet of *node*'s per-class ejection queue.
+
+        ``msg_class`` may be a :class:`MessageClass` or its plain integer
+        value (hot consumers pass the int straight from an index loop).
+        """
         self.last_progress_cycle = self.cycle
         packet = self.ej_queues[node][msg_class].popleft()
         self.ej_pending[node] -= 1
@@ -350,6 +405,8 @@ class Fabric:
         """
         self._cand_cache.clear()
         self._cand_epoch = self.index.fault_epoch
+        if self._engine is not None:
+            self._engine.invalidate()
 
     def candidate_links(
         self, router: int, packet: Packet
@@ -477,6 +534,8 @@ class Fabric:
         inj_pending = self._inj_pending
         port_occ = self._port_occ
         router_occ = self._router_occ
+        num_vns = self.num_vns
+        av = self._engine_avail
         # Rotate class service order for fairness between classes that
         # share a VN.
         rr = self._inj_rr
@@ -512,6 +571,8 @@ class Fabric:
                 packet.blocked_since = self.cycle
                 self.routing.on_inject(packet)
                 flat[base + vc] = packet
+                if av is not None:
+                    av[port * num_vns + vn] &= ~(1 << vc) & 0xFF
                 port_occ[port] += 1
                 router_occ[node] += 1
                 self.packets_in_network += 1
@@ -542,6 +603,12 @@ class Fabric:
 
     def movement_stage(self) -> None:
         """Switch allocation + traversal: the per-cycle router pipeline."""
+        eng = self._engine
+        if eng is not None:
+            # Vectorized engines are only installed on single-flit fabrics,
+            # where _complete_transfers is a guaranteed no-op.
+            eng.movement()
+            return
         self._complete_transfers()
         if self.frozen:
             return

@@ -13,11 +13,68 @@ by a single integer port id:
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Set
+from itertools import chain
+from typing import Dict, List, Optional, Set
 
 from ..topology.graph import Link, Topology
 
-__all__ = ["FabricIndex"]
+try:  # numpy backs the dense candidate tables; the scalar path needs none
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
+
+__all__ = ["FabricIndex", "DenseCandidateTables"]
+
+
+class DenseCandidateTables:
+    """Flat per-(router, dst) candidate-link tables in numpy CSR form.
+
+    The vectorized movement engine replaces the fabric's per-packet
+    candidate memo with one dense lookup structure: row ``router * n + dst``
+    of the (offsets, counts, links) triple yields the candidate link ids in
+    the exact order the routing function enumerates them. Rows are built in
+    one vectorized pass (length scan -> cumulative offsets -> flat gather)
+    so a fault-driven rebuild of a thousand-node table stays cheap.
+
+    Instances are tagged with the :attr:`FabricIndex.fault_epoch` they were
+    built under; holders compare :attr:`epoch` against the live index and
+    rebuild on mismatch (the same invalidation discipline as the fabric's
+    candidate-group memo).
+    """
+
+    __slots__ = ("num_nodes", "epoch", "offsets", "counts", "links")
+
+    def __init__(self, index: "FabricIndex",
+                 tables: List[List[List[int]]]) -> None:
+        if _np is None:  # pragma: no cover - numpy is a hard dependency
+            raise RuntimeError("dense candidate tables require numpy")
+        n = index.num_nodes
+        if len(tables) != n:
+            raise ValueError(f"expected {n} table rows, got {len(tables)}")
+        self.num_nodes = n
+        self.epoch = index.fault_epoch
+        rows = [cell for row in tables for cell in row]
+        counts = _np.fromiter((len(cell) for cell in rows),
+                              dtype=_np.int32, count=n * n)
+        offsets = _np.zeros(n * n + 1, dtype=_np.int64)
+        _np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        self.links = _np.fromiter(chain.from_iterable(rows),
+                                  dtype=_np.int32, count=total)
+        self.counts = counts
+        self.offsets = offsets
+
+    def row(self, router: int, dst: int) -> List[int]:
+        """Candidate link ids for (router, dst), routing-function order."""
+        idx = router * self.num_nodes + dst
+        lo = int(self.offsets[idx])
+        return self.links[lo:lo + int(self.counts[idx])].tolist()
+
+    def row_lists(self) -> List[List[int]]:
+        """All rows as plain Python lists (hot-path extraction helper)."""
+        flat = self.links.tolist()
+        offs = self.offsets.tolist()
+        return [flat[offs[i]:offs[i + 1]] for i in range(len(offs) - 1)]
 
 
 class FabricIndex:

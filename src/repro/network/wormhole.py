@@ -68,6 +68,12 @@ class _VC:
 class WormholeFabric:
     """Flit-level wormhole network with DRAIN truncation support."""
 
+    #: Engine-matrix reporting (parity with :class:`~.fabric.Fabric`): the
+    #: wormhole pipeline is a standalone scalar implementation, so the
+    #: engine knob never applies here.
+    engine_name = "scalar"
+    engine_fallback_reason = "wormhole flow control (standalone flit pipeline)"
+
     def __init__(
         self,
         index: FabricIndex,

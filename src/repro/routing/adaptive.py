@@ -72,3 +72,12 @@ class AdaptiveMinimalRouting(RoutingFunction):
     def raw_candidates(self, router: int, dst: int) -> List[int]:
         """Productive links for an explicit (router, dst) pair (test hook)."""
         return list(self._productive[router][dst])
+
+    def export_tables(self, num_nodes: int) -> List[List[List[int]]]:
+        """Zero-copy export of the productive-link tables.
+
+        The tables are authoritative: :meth:`candidates` serves the same
+        list objects, so the export is current by construction — including
+        right after a fault-driven :meth:`rebuild`.
+        """
+        return self._productive

@@ -13,7 +13,7 @@ lookup (the hardware analogue: route-computation tables filled at boot).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List
+from typing import List, Optional
 
 from ..router.packet import Packet
 
@@ -95,3 +95,34 @@ class RoutingFunction(ABC):
         construction. Stateless functions keep the phase unchanged.
         """
         return up_phase
+
+    # ------------------------------------------------------------------
+    # Dense-table export (repro.network.vectorized)
+    # ------------------------------------------------------------------
+    def export_tables(self, num_nodes: int) -> Optional[List[List[List[int]]]]:
+        """Full per-(router, dst) candidate tables, or None if unavailable.
+
+        The vectorized movement engine precompiles candidate lookups into
+        flat index tables; it can only do so when the complete routing
+        relation is a pure function of (router, dst). Stateless functions
+        get a generic probe-based export; table-backed subclasses override
+        with a zero-copy view of their own tables. Stateful functions
+        return None, which makes the engine fall back to the scalar path.
+
+        The returned nested lists must present candidates in exactly the
+        order :meth:`candidates` yields them — the allocator's randomised
+        rotation starts from an LCG draw over that order, so a reordered
+        export would silently change grant decisions.
+        """
+        if self.stateful:
+            return None
+        tables: List[List[List[int]]] = []
+        for router in range(num_nodes):
+            row: List[List[int]] = []
+            for dst in range(num_nodes):
+                if dst == router:
+                    row.append([])
+                else:
+                    row.append(list(self.candidates(router, Packet(-1, router, dst))))
+            tables.append(row)
+        return tables

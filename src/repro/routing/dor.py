@@ -59,3 +59,10 @@ class DimensionOrderRouting(RoutingFunction):
     def next_link(self, router: int, dst: int) -> int:
         """The unique XY next-hop link id (test hook)."""
         return self._next[router][dst]
+
+    def export_tables(self, num_nodes: int) -> List[List[List[int]]]:
+        """Dense export straight from the XY next-hop table."""
+        return [
+            [[link] if link >= 0 else [] for link in row]
+            for row in self._next
+        ]

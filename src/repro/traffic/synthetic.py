@@ -262,23 +262,32 @@ class SyntheticTraffic:
         self._record_hook = None
 
     def generate(self, fabric: Fabric, cycle: int) -> None:
+        # Hot per-cycle path: everything the node loop touches is hoisted.
+        # The RNG draw sequence (one rate draw per node, destination draws
+        # on a hit) is part of the parity contract and must not change.
         rng = self.rng
+        rand = rng.random
         rate = self.injection_rate
-        for node in range(self.pattern.num_nodes):
-            if rng.random() < rate:
-                dst = self.pattern.destination(node, rng)
+        destination = self.pattern.destination
+        msg_class = self.msg_class
+        hook = self._record_hook
+        offer = fabric.offer_packet
+        pid = self._next_pid
+        generated = 0
+        for node, backlog in enumerate(self._backlog):
+            if rand() < rate:
+                dst = destination(node, rng)
                 if dst is not None:
-                    packet = Packet(
-                        self._next_pid, node, dst, self.msg_class, gen_cycle=cycle
-                    )
-                    self._next_pid += 1
-                    self.generated += 1
-                    self._backlog[node].append(packet)
-                    if self._record_hook is not None:
-                        self._record_hook(packet)
-            backlog = self._backlog[node]
-            while backlog and fabric.offer_packet(backlog[0]):
+                    packet = Packet(pid, node, dst, msg_class, gen_cycle=cycle)
+                    pid += 1
+                    generated += 1
+                    backlog.append(packet)
+                    if hook is not None:
+                        hook(packet)
+            while backlog and offer(backlog[0]):
                 backlog.popleft()
+        self._next_pid = pid
+        self.generated += generated
 
     def idle_generate(self, fabric: Fabric, cycle: int, budget: int) -> int:
         """Replay :meth:`generate` across up to *budget* known-idle cycles.
@@ -345,13 +354,14 @@ class SyntheticTraffic:
         if not getattr(fabric, "ej_pending_total", 1):
             return  # nothing ejected anywhere this cycle
         ej_pending = getattr(fabric, "ej_pending", None)
+        pop = fabric.pop_ejection
+        ej_queues = fabric.ej_queues
         for node in range(self.pattern.num_nodes):
             if ej_pending is not None and not ej_pending[node]:
                 continue
-            queues = fabric.ej_queues[node]
-            for cls in range(len(queues)):
-                while queues[cls]:
-                    fabric.pop_ejection(node, MessageClass(cls))
+            for cls, queue in enumerate(ej_queues[node]):
+                while queue:
+                    pop(node, cls)
 
     def done(self) -> bool:
         """Open-loop traffic never self-terminates."""

@@ -55,7 +55,7 @@ def _topology(kind: str):
 
 
 def _summary(scheme: Scheme, topo_kind: str, rate: float, dense: bool,
-             flow_control: str = "vct", fault_schedule=None):
+             flow_control: str = "vct", fault_schedule=None, engine=None):
     topology, width = _topology(topo_kind)
     config = scheme_config(scheme, TINY, seed=1)
     traffic = SyntheticTraffic(
@@ -68,6 +68,7 @@ def _summary(scheme: Scheme, topo_kind: str, rate: float, dense: bool,
         flow_control=flow_control,
         fault_schedule=fault_schedule,
         dense=dense,
+        engine=engine,
     )
     sim.run(TINY.total_cycles, warmup=TINY.warmup)
     return sim.stats
@@ -144,6 +145,8 @@ class TestScratchDiscipline:
         # exactly the class of scratch-state bug this suite polices.
         kernel = [
             "src/repro/network/fabric.py",
+            "src/repro/network/vectorized.py",
+            "src/repro/network/index.py",
             "src/repro/network/wormhole.py",
             "src/repro/network/deadlock.py",
             "src/repro/bench/cases.py",
@@ -187,3 +190,127 @@ class TestScratchDiscipline:
         first = _summary(Scheme.DRAIN, "irregular", 0.10, dense=False)
         second = _summary(Scheme.DRAIN, "irregular", 0.10, dense=False)
         assert first.as_dict() == second.as_dict()
+
+
+def _sim(scheme: Scheme, topo_kind: str, rate: float, *, engine=None,
+         config=None, flow_control="vct", fault_schedule=None):
+    """Like :func:`_summary` but returns the whole Simulation object."""
+    topology, width = _topology(topo_kind)
+    if config is None:
+        config = scheme_config(scheme, TINY, seed=1)
+    traffic = SyntheticTraffic(
+        pattern_by_name("uniform_random", topology.num_nodes, width),
+        rate,
+        random.Random(derive_seed(1, "traffic", "uniform_random", rate)),
+    )
+    sim = Simulation(
+        topology, config, traffic,
+        flow_control=flow_control,
+        fault_schedule=fault_schedule,
+        engine=engine,
+    )
+    sim.run(TINY.total_cycles, warmup=TINY.warmup)
+    return sim
+
+
+class TestEngineMatrix:
+    """The vectorized engine's selection, fallback and invalidation rules."""
+
+    def test_vectorized_engages_and_matches_dense(self):
+        sim = _sim(Scheme.DRAIN, "mesh", SATURATION_RATE, engine="vectorized")
+        assert sim.fabric.engine_name == "vectorized"
+        assert sim.fabric.engine_fallback_reason is None
+        dense = _summary(Scheme.DRAIN, "mesh", SATURATION_RATE, dense=True)
+        assert sim.stats.as_dict() == dense.as_dict()
+        # Incremental availability masks must end the run exact.
+        assert sim.fabric._engine.audit_masks() == []
+
+    def test_vectorized_mid_run_fault_recovery(self):
+        # Faults land mid-measurement: the engine must rebuild its dense
+        # candidate tables on each fault-epoch bump and stay bit-identical
+        # to the reference sweep throughout.
+        events = (
+            FaultEvent(cycle=150, kind="link", target=(5, 6)),
+            FaultEvent(cycle=250, kind="link", target=(9, 10)),
+        )
+        schedule = FaultSchedule(events=events, seed=7, onset="uniform")
+        sim = _sim(Scheme.DRAIN, "mesh", 0.10, engine="vectorized",
+                   fault_schedule=schedule)
+        dense = _summary(Scheme.DRAIN, "mesh", 0.10, dense=True,
+                         fault_schedule=schedule)
+        assert sim.fabric.engine_name == "vectorized"
+        assert sim.stats.as_dict() == dense.as_dict()
+        assert sim.stats.faults_applied >= 1
+        engine = sim.fabric._engine
+        # Initial build plus one rebuild per fault epoch.
+        assert engine.rebuilds >= 1 + sim.stats.faults_applied
+        assert engine.tables.epoch == sim.index.fault_epoch
+        assert engine.audit_masks() == []
+
+    def test_stateful_routing_selects_scalar_silently(self):
+        # UPDOWN's routing function is stateful (per-packet phase bit):
+        # requesting the vectorized engine must not raise — the fabric
+        # silently runs the scalar path and records why.
+        sim = _sim(Scheme.UPDOWN, "mesh", 0.10, engine="vectorized")
+        assert sim.fabric.engine_name == "scalar"
+        assert "stateful" in sim.fabric.engine_fallback_reason
+        dense = _summary(Scheme.UPDOWN, "mesh", 0.10, dense=True)
+        assert sim.stats.as_dict() == dense.as_dict()
+
+    def test_escape_vc_on_irregular_falls_back(self):
+        # ESCAPE_VC on an irregular topology uses an up*/down* escape
+        # function — stateful, so the whole fabric takes the scalar path.
+        sim = _sim(Scheme.ESCAPE_VC, "irregular", 0.10, engine="vectorized")
+        assert sim.fabric.engine_name == "scalar"
+        assert "stateful" in sim.fabric.engine_fallback_reason
+
+    def test_structural_fallbacks(self):
+        import dataclasses
+
+        base = scheme_config(Scheme.DRAIN, TINY, seed=1)
+        # vcs_per_vn != 2: the kernel's VC unroll does not apply.
+        cfg = dataclasses.replace(
+            base, network=dataclasses.replace(base.network, vcs_per_vn=3))
+        sim = _sim(Scheme.DRAIN, "mesh", 0.10, engine="vectorized",
+                   config=cfg)
+        assert sim.fabric.engine_name == "scalar"
+        assert "vcs_per_vn" in sim.fabric.engine_fallback_reason
+        # Multi-flit packets serialise transfers over several cycles.
+        cfg = dataclasses.replace(
+            base,
+            network=dataclasses.replace(base.network, packet_size_flits=2))
+        sim = _sim(Scheme.DRAIN, "mesh", 0.10, engine="vectorized",
+                   config=cfg)
+        assert sim.fabric.engine_name == "scalar"
+        assert "multi-flit" in sim.fabric.engine_fallback_reason
+
+    def test_wormhole_reports_scalar(self):
+        # The wormhole fabric is a standalone pipeline; the engine knob
+        # never applies and the fabric says so through the same attributes.
+        sim = _sim(Scheme.DRAIN, "mesh", 0.10, engine="vectorized",
+                   flow_control="wormhole")
+        assert sim.fabric.engine_name == "scalar"
+        assert "wormhole" in sim.fabric.engine_fallback_reason
+
+    def test_scalar_request_is_honoured(self):
+        sim = _sim(Scheme.DRAIN, "mesh", 0.10, engine="scalar")
+        assert sim.fabric.engine_name == "scalar"
+        assert sim.fabric.engine_fallback_reason is None
+        assert sim.fabric._engine is None
+
+    def test_engine_knob_roundtrip_and_validation(self):
+        import dataclasses
+
+        import pytest as _pytest
+
+        from repro.core.configio import config_from_dict, config_to_dict
+
+        base = scheme_config(Scheme.DRAIN, TINY, seed=1)
+        cfg = dataclasses.replace(base, engine="vectorized")
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+        # Old archives without the knob load as "auto".
+        payload = config_to_dict(base)
+        payload.pop("engine")
+        assert config_from_dict(payload).engine == "auto"
+        with _pytest.raises(ValueError):
+            dataclasses.replace(base, engine="simd")
