@@ -1,0 +1,106 @@
+"""Lossless (PFC) flow control: pause storms, CBD deadlock, DRAIN rescue.
+
+Three scenarios on the same 8-leaf / 4-spine leaf-spine fabric with an
+east-west leaf ring (one uplink per leaf, so every minimal route of a
+``leaf i -> leaf i+2`` flow lies on the ring):
+
+1. **Congestion without deadlock** — generous pause hysteresis at modest
+   load: XOFF/XON cycles ripple through the ring but every packet is
+   delivered. PFC doing its job.
+2. **Cyclic buffer dependency (CBD) deadlock** — strict hysteresis
+   (resume only on empty) past saturation: every ring buffer pauses its
+   upstream neighbour and the wait-for graph closes into a cycle no
+   threshold tuning can break. The watchdog halts the run and names the
+   exact buffer cycle.
+3. **DRAIN rescue** — same deadlock-prone configuration under
+   ``scheme=DRAIN`` with the staged degradation ladder: forced drain
+   epochs move the escape channel regardless of pause state and every
+   packet is delivered with zero losses.
+
+Run with: ``PYTHONPATH=src python examples/lossless_pfc.py``
+"""
+
+import random
+
+from repro.core.config import (
+    DrainConfig,
+    NetworkConfig,
+    PfcConfig,
+    Scheme,
+    SimConfig,
+)
+from repro.core.simulator import Simulation
+from repro.topology import make_leaf_spine
+from repro.traffic import Flow, FlowTraffic
+
+
+def build(scheme, pause, resume, rate, packets, seed=7):
+    topo = make_leaf_spine(8, 4, uplinks=1, east_west=True)
+    config = SimConfig(
+        scheme=scheme,
+        network=NetworkConfig(num_vns=1, vcs_per_vn=4),
+        drain=DrainConfig(epoch=2048),
+        flow_control="pause_resume",
+        pfc=PfcConfig(pause_threshold=pause, resume_threshold=resume,
+                      headroom=1),
+    )
+    flows = [Flow(i, (i + 2) % 8, rate, packets=packets) for i in range(8)]
+    traffic = FlowTraffic(flows, random.Random(seed))
+    return topo, config, traffic
+
+
+def scenario_congestion():
+    print("=== 1. pauses without deadlock (pause=3, resume=2, rate=0.3) ===")
+    topo, config, traffic = build(Scheme.NONE, 3, 2, 0.3, packets=100)
+    sim = Simulation(topo, config, traffic, halt_on_deadlock=True)
+    sim.run(cycles=20_000)
+    pfc = sim.fabric.pfc_summary()
+    print(f"delivered {traffic.delivered}/{traffic.generated} packets "
+          f"in {sim.fabric.cycle} cycles")
+    print(f"pauses asserted: {pfc['pauses_asserted']}, "
+          f"resumes: {pfc['resumes']}, stalls: {pfc['pause_stalls']}")
+    assert not sim.deadlocked and traffic.done()
+
+
+def scenario_deadlock():
+    print()
+    print("=== 2. CBD deadlock (pause=2, resume=0, rate=0.9) ===")
+    topo, config, traffic = build(Scheme.NONE, 2, 0, 0.9, packets=None)
+    sim = Simulation(topo, config, traffic, halt_on_deadlock=True)
+    sim.run(cycles=20_000)
+    assert sim.deadlocked, "expected the ring CBD to wedge the fabric"
+    payload = sim.watchdog.cycle_payload
+    print(f"deadlock confirmed at cycle {sim.fabric.cycle}: "
+          f"buffer cycle of {payload['length']} slot(s)")
+    print("wait-for cycle (router <- holding packet):")
+    for hop in payload["cycle"]:
+        pkt = hop["packet"]
+        print(f"  router {hop['router']:>2} port {hop['port']:>2} "
+              f"vc {hop['vc']}: packet {pkt['pid']} "
+              f"{pkt['src']} -> {pkt['dst']}")
+    print("All buffers in the cycle sit at or above the PFC pause "
+          "threshold and every next hop is paused: no threshold tuning "
+          "can make progress here.")
+
+
+def scenario_drain_rescue():
+    print()
+    print("=== 3. DRAIN rescue (same fabric, scheme=DRAIN + ladder) ===")
+    topo, config, traffic = build(Scheme.DRAIN, 2, 0, 0.9, packets=100)
+    sim = Simulation(topo, config, traffic, degradation_ladder=True)
+    sim.run(cycles=120_000)
+    ladder = sim.degradation_ladder.summary()
+    print(f"delivered {traffic.delivered}/{traffic.generated} packets "
+          f"in {sim.fabric.cycle} cycles")
+    print(f"ladder: {ladder['detections']} detection(s), "
+          f"{ladder['forced_drains']} forced drain(s), "
+          f"{ladder['cycle_drops']} drop escalation(s), "
+          f"{ladder['packets_lost_forever']} packets lost forever")
+    assert traffic.done() and ladder["packets_lost_forever"] == 0
+    print("Deadlock removed without dropping a single packet.")
+
+
+if __name__ == "__main__":
+    scenario_congestion()
+    scenario_deadlock()
+    scenario_drain_rescue()

@@ -169,6 +169,53 @@ def _setup_micro_fault_recovery() -> Callable[[], None]:
     return run
 
 
+_PAUSE_PROPAGATION_CYCLES = 2400
+
+
+def _setup_micro_pause_propagation() -> Callable[[], None]:
+    # PFC hot path: the pinned CBD scenario (east-west leaf-spine ring at
+    # post-saturation load under DRAIN) keeps rows crossing their pause
+    # and resume thresholds every few cycles, so the timed loop exercises
+    # the row-recount, XOFF snapshot and escape-exemption branches of
+    # PauseResumeFabric together with the drain rotation that keeps the
+    # fabric live.
+    import random as _random
+
+    from ..core.config import (
+        DrainConfig,
+        NetworkConfig,
+        PfcConfig,
+        SimConfig,
+    )
+    from ..core.rng import derive_seed
+    from ..core.simulator import Simulation
+    from ..topology.datacenter import make_leaf_spine
+    from ..traffic.flows import Flow, FlowTraffic
+
+    topology = make_leaf_spine(8, 4, uplinks=1, east_west=True)
+    config = SimConfig(
+        scheme=Scheme.DRAIN,
+        network=NetworkConfig(num_vns=1, vcs_per_vn=4),
+        drain=DrainConfig(epoch=2048),
+        seed=1,
+        flow_control="pause_resume",
+        pfc=PfcConfig(pause_threshold=2, resume_threshold=0, headroom=1),
+    )
+    flows = [Flow(i, (i + 2) % 8, 0.9) for i in range(8)]
+    traffic = FlowTraffic(
+        flows, _random.Random(derive_seed(1, "bench", "pause", len(flows)))
+    )
+    sim = Simulation(topology, config, traffic, degradation_ladder=True)
+    for _ in range(200):
+        sim.step()
+
+    def run() -> None:
+        for _ in range(_PAUSE_PROPAGATION_CYCLES):
+            sim.step()
+
+    return run
+
+
 _IDLE_SKIP_CYCLES = 20_000
 _IDLE_SKIP_RATE = 0.0005
 _IDLE_SKIP_WARMUP = 600
@@ -311,6 +358,15 @@ CASES: Dict[str, BenchCase] = {
                    _FAULT_RECOVERY_ROUNDS, _FAULT_RECOVERY_REPEATS),
             work_units=_FAULT_RECOVERY_ROUNDS * _FAULT_RECOVERY_REPEATS,
             setup=_setup_micro_fault_recovery,
+        ),
+        BenchCase(
+            name="micro_pause_propagation",
+            kind="micro",
+            label=("micro_pause_propagation", "leafspine-8x4-u1-ew",
+                   "drain", 0.9, (2, 0, 1), 200,
+                   _PAUSE_PROPAGATION_CYCLES),
+            work_units=_PAUSE_PROPAGATION_CYCLES,
+            setup=_setup_micro_pause_propagation,
         ),
         BenchCase(
             name="micro_idle_skip",

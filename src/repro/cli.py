@@ -33,8 +33,10 @@ Subcommands:
 artefacts.
 
 Topology specifiers: ``mesh:WxH``, ``torus:WxH``, ``ring:N``,
-``smallworld:N+S``, ``randomregular:NdD``, ``chiplet:CxWxH``; append
-``--faults K`` to remove K random links (connectivity preserved).
+``smallworld:N+S``, ``randomregular:NdD``, ``chiplet:CxWxH``,
+``leafspine:LxS[uU][ew]`` (L leaves, S spines, optional U uplinks per
+leaf and an east-west leaf ring), ``fattree:K[uU]``; append ``--faults
+K`` to remove K random links (connectivity preserved).
 """
 
 from __future__ import annotations
@@ -53,7 +55,7 @@ from .analysis import (
     certify_drain_cover,
     lint_paths,
 )
-from .core.config import DrainConfig, NetworkConfig, Scheme, SimConfig
+from .core.config import DrainConfig, NetworkConfig, PfcConfig, Scheme, SimConfig
 from .core.simulator import Simulation
 from .drain.path import DrainPathError, find_drain_path
 from .drain.turntable import build_turn_tables
@@ -81,6 +83,7 @@ from .experiments import (
     fig15_tail,
     heterogeneous,
     lifetime,
+    lossless_pfc,
     path_quality,
     sensitivity,
     table1_comparison,
@@ -89,6 +92,7 @@ from .experiments import (
 from .topology.chiplet import make_chiplet_system
 from .topology.graph import Topology
 from .topology.irregular import inject_link_faults
+from .topology.datacenter import make_fat_tree, make_leaf_spine
 from .topology.mesh import make_mesh, make_ring, make_torus
 from .topology.randomized import make_random_regular, make_small_world
 from .traffic.synthetic import SyntheticTraffic, pattern_by_name
@@ -113,6 +117,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "section6": heterogeneous.run,
     "fault-recovery": fault_recovery.run,
     "lifetime": lifetime.run,
+    "lossless-pfc": lossless_pfc.run,
     "path-quality": path_quality.run,
     "sensitivity": sensitivity.run,
 }
@@ -151,6 +156,29 @@ def parse_topology(spec: str, faults: int = 0, seed: int = 1) -> Topology:
         except ValueError:
             raise ValueError(f"bad spec {spec!r}; expected chiplet:CxWxH")
         topo = make_chiplet_system(w, h, num_chiplets=c).topology
+    elif kind == "leafspine":
+        text = arg
+        east_west = text.endswith("ew")
+        if east_west:
+            text = text[:-2]
+        text, _, utxt = text.partition("u")
+        try:
+            leaves, spines = (int(v) for v in text.split("x"))
+            uplinks = int(utxt) if utxt else None
+        except ValueError:
+            raise ValueError(
+                f"bad spec {spec!r}; expected leafspine:LxS[uU][ew]"
+            )
+        topo = make_leaf_spine(leaves, spines, uplinks=uplinks,
+                               east_west=east_west)
+    elif kind == "fattree":
+        text, _, utxt = arg.partition("u")
+        try:
+            pods = int(text)
+            uplinks = int(utxt) if utxt else None
+        except ValueError:
+            raise ValueError(f"bad spec {spec!r}; expected fattree:K[uU]")
+        topo = make_fat_tree(pods, uplinks=uplinks)
     else:
         raise ValueError(
             f"unknown topology kind {kind!r}; see repro-drain --help"
@@ -338,6 +366,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                               packet_size_flits=args.packet_flits),
         drain=DrainConfig(epoch=args.epoch),
         seed=args.seed,
+        flow_control="pause_resume" if args.pfc else "credit",
+        pfc=PfcConfig(pause_threshold=args.pause_threshold,
+                      resume_threshold=args.resume_threshold,
+                      headroom=args.headroom),
     )
     mesh_width = None
     if args.topology.startswith("mesh:"):
@@ -347,7 +379,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.rate,
         random.Random(args.seed),
     )
-    sim = Simulation(topo, config, traffic, flow_control=args.flow_control)
+    sim = Simulation(topo, config, traffic, flow_control=args.flow_control,
+                     halt_on_deadlock=args.halt_on_deadlock)
     if args.profile:
         import cProfile
 
@@ -378,6 +411,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"drain windows:   {stats.drain_windows} "
           f"(full drains: {stats.full_drains})")
     print(f"deadlock events: {stats.deadlock_events}")
+    if hasattr(sim.fabric, "pfc_summary"):
+        pfc = sim.fabric.pfc_summary()
+        print(f"pfc:             {pfc['pauses_asserted']} pauses, "
+              f"{pfc['resumes']} resumes, {pfc['pause_stalls']} stalls")
+    if sim.deadlocked:
+        payload = sim.watchdog.cycle_payload
+        if payload is not None:
+            hop = " -> ".join(
+                f"r{h['router']}" for h in payload["cycle"]
+            )
+            detail = (f"buffer-cycle of {payload['length']} slot(s) over "
+                      f"routers {payload['routers']} ({hop})")
+        else:
+            detail = "no rotatable buffer cycle (ejection wedge)"
+        print(f"error: deadlock detected at cycle {sim.fabric.cycle}: "
+              f"{detail}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -621,6 +671,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=1)
     p_run.add_argument("--flow-control", choices=("vct", "wormhole"),
                        default="vct")
+    p_run.add_argument("--pfc", action="store_true",
+                       help="lossless pause/resume (PFC) flow control "
+                            "instead of credits")
+    p_run.add_argument("--pause-threshold", type=int, default=1,
+                       help="row occupancy asserting XOFF (with --pfc)")
+    p_run.add_argument("--resume-threshold", type=int, default=0,
+                       help="row occupancy releasing XON (with --pfc)")
+    p_run.add_argument("--headroom", type=int, default=1,
+                       help="reserved slots absorbing in-flight packets "
+                            "after XOFF (with --pfc)")
+    p_run.add_argument("--halt-on-deadlock", action="store_true",
+                       help="stop at the first watchdog-confirmed deadlock "
+                            "and exit 2 with the concrete buffer cycle")
     p_run.add_argument("--packet-flits", type=int, default=1,
                        help="VCT link-serialisation length in flits")
     p_run.add_argument("--report", action="store_true",

@@ -18,8 +18,15 @@ __all__ = [
     "DrainConfig",
     "SpinConfig",
     "ProtocolConfig",
+    "PfcConfig",
     "SimConfig",
+    "FLOW_CONTROL_MODES",
 ]
+
+#: Fabric flow-control modes: "credit" is the paper's credit-based VCT
+#: fabric; "pause_resume" is the PFC-style lossless-Ethernet model
+#: (per-(port,vn) XOFF/XON with hysteresis thresholds and headroom).
+FLOW_CONTROL_MODES = ("credit", "pause_resume")
 
 
 class Scheme(str, Enum):
@@ -150,6 +157,39 @@ class ProtocolConfig:
 
 
 @dataclass(frozen=True)
+class PfcConfig:
+    """Parameters of the PFC pause/resume flow-control mode.
+
+    A buffer *row* is the ``vcs_per_vn`` VC slots of one (link port, VN)
+    pair.  A row asserts XOFF once its occupancy reaches
+    ``pause_threshold`` and releases it (XON) once occupancy falls back
+    to ``resume_threshold`` — strict hysteresis requires
+    ``resume_threshold < pause_threshold``.  ``headroom`` is the slot
+    margin that must remain above the pause threshold so in-flight
+    packets granted before the pause took effect still land losslessly:
+    ``pause_threshold + headroom`` may not exceed the row depth
+    (``vcs_per_vn``), which :class:`SimConfig` enforces.
+    """
+
+    pause_threshold: int = 1
+    resume_threshold: int = 0
+    headroom: int = 1
+
+    def __post_init__(self) -> None:
+        if self.pause_threshold < 1:
+            raise ValueError("pfc pause_threshold must be at least 1")
+        if self.resume_threshold < 0:
+            raise ValueError("pfc resume_threshold must be non-negative")
+        if self.resume_threshold >= self.pause_threshold:
+            raise ValueError(
+                f"pfc resume_threshold ({self.resume_threshold}) must be "
+                f"strictly below pause_threshold ({self.pause_threshold})"
+            )
+        if self.headroom < 0:
+            raise ValueError("pfc headroom must be non-negative")
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Complete configuration of one simulation run."""
 
@@ -158,6 +198,11 @@ class SimConfig:
     drain: DrainConfig = field(default_factory=DrainConfig)
     spin: SpinConfig = field(default_factory=SpinConfig)
     protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    pfc: PfcConfig = field(default_factory=PfcConfig)
+    #: Fabric flow control: "credit" (default; the reference semantics
+    #: every golden snapshot is pinned to) or "pause_resume" (the PFC
+    #: lossless mode, simulated by :class:`repro.network.PauseResumeFabric`).
+    flow_control: str = "credit"
     seed: int = 1
     deadlock_check_interval: int = 128  # oracle cadence (measurement only)
     deadlock_grace: int = 64  # min blocked cycles before oracle counts it
@@ -175,6 +220,25 @@ class SimConfig:
                 f"unknown engine {self.engine!r}: "
                 "expected 'auto', 'scalar' or 'vectorized'"
             )
+        if self.flow_control not in FLOW_CONTROL_MODES:
+            raise ValueError(
+                f"unknown flow_control {self.flow_control!r}: "
+                "expected 'credit' or 'pause_resume'"
+            )
+        if self.flow_control == "pause_resume":
+            depth = self.network.vcs_per_vn
+            if self.pfc.headroom > depth:
+                raise ValueError(
+                    f"pfc headroom ({self.pfc.headroom}) exceeds the buffer "
+                    f"depth ({depth} VCs per VN)"
+                )
+            if self.pfc.pause_threshold + self.pfc.headroom > depth:
+                raise ValueError(
+                    f"pfc pause_threshold ({self.pfc.pause_threshold}) + "
+                    f"headroom ({self.pfc.headroom}) exceeds the buffer "
+                    f"depth ({depth} VCs per VN); pausing would fire too "
+                    "late to stay lossless"
+                )
 
     def with_scheme(self, scheme: Scheme) -> "SimConfig":
         return replace(self, scheme=scheme)

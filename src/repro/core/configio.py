@@ -17,6 +17,7 @@ from typing import Any, Dict, Union
 from .config import (
     DrainConfig,
     NetworkConfig,
+    PfcConfig,
     ProtocolConfig,
     Scheme,
     SimConfig,
@@ -30,6 +31,7 @@ _SECTIONS = {
     "drain": DrainConfig,
     "spin": SpinConfig,
     "protocol": ProtocolConfig,
+    "pfc": PfcConfig,
 }
 
 
@@ -41,6 +43,7 @@ def config_to_dict(config: SimConfig) -> Dict[str, Any]:
         "deadlock_check_interval": config.deadlock_check_interval,
         "deadlock_grace": config.deadlock_grace,
         "engine": config.engine,
+        "flow_control": config.flow_control,
     }
     for section, _cls in _SECTIONS.items():
         out[section] = dataclasses.asdict(getattr(config, section))
@@ -55,6 +58,7 @@ def config_from_dict(data: Dict[str, Any]) -> SimConfig:
     check = payload.pop("deadlock_check_interval", 128)
     grace = payload.pop("deadlock_grace", 64)
     engine = payload.pop("engine", "auto")
+    flow_control = payload.pop("flow_control", "credit")
     sections: Dict[str, Any] = {}
     for section, cls in _SECTIONS.items():
         raw = payload.pop(section, {})
@@ -73,6 +77,7 @@ def config_from_dict(data: Dict[str, Any]) -> SimConfig:
         deadlock_check_interval=check,
         deadlock_grace=grace,
         engine=engine,
+        flow_control=flow_control,
         **sections,
     )
 

@@ -22,6 +22,7 @@ from ..drain.controller import DrainController
 from ..drain.path import DrainPath
 from ..network.deadlock import (
     WaitForGraph,
+    deadlock_cycle_payload,
     extract_cycle,
     find_deadlocked_slots,
     rotate_cycle,
@@ -103,6 +104,10 @@ class DeadlockWatchdog:
         self.check_interval = max(1, check_interval)
         self.grace = grace
         self.deadlocked = False
+        #: Concrete minimal deadlock cycle (``deadlock_cycle_payload``
+        #: shape) captured at detection time; ``None`` until then and on
+        #: the wormhole fabric (no exact slot oracle there).
+        self.cycle_payload = None
 
     def next_event_cycle(self, now: int) -> int:
         """Next check tick: the watchdog never sleeps past one.
@@ -132,6 +137,7 @@ class DeadlockWatchdog:
             if not stuck:
                 return
             fabric.stats.deadlocks_detected += len(stuck)
+            self.cycle_payload = deadlock_cycle_payload(fabric, stuck)
         # Wormhole fabric: persistent zero progress with flits buffered is
         # the deadlock signal (no exact oracle over flit FIFOs).
         self.deadlocked = True
@@ -154,6 +160,8 @@ class Simulation:
         fault_policy: str = "drop_retransmit",
         fault_curve_window: int = 0,
         fault_max_circuits: int = 512,
+        pause_storm=None,
+        degradation_ladder: bool = False,
         dense: bool = False,
         engine: Optional[str] = None,
     ) -> None:
@@ -163,6 +171,16 @@ class Simulation:
             raise ValueError(
                 "runtime fault injection models the virtual cut-through "
                 "fabric only (no wormhole fault hooks)"
+            )
+        if config.flow_control == "pause_resume" and flow_control != "vct":
+            raise ValueError(
+                "pause/resume (PFC) flow control models the virtual "
+                "cut-through fabric only"
+            )
+        if pause_storm is not None and config.flow_control != "pause_resume":
+            raise ValueError(
+                "pause storms need a pause/resume fabric: set "
+                "flow_control='pause_resume' in the SimConfig"
             )
         self.topology = topology
         self.config = config
@@ -218,7 +236,13 @@ class Simulation:
             # The wormhole fabric is a standalone scalar pipeline; the
             # engine knob does not apply (class attrs report that).
         else:
-            self.fabric = Fabric(
+            if config.flow_control == "pause_resume":
+                from ..network.pause import PauseResumeFabric
+
+                fabric_cls = PauseResumeFabric
+            else:
+                fabric_cls = Fabric
+            self.fabric = fabric_cls(
                 self.index,
                 config,
                 routing,
@@ -258,8 +282,24 @@ class Simulation:
                 config.deadlock_grace,
             )
 
+        self.degradation_ladder = None
+        if degradation_ladder:
+            if self.drain_controller is None:
+                raise ValueError(
+                    "the degradation ladder escalates through forced drains: "
+                    "it needs scheme=DRAIN"
+                )
+            from ..drain.ladder import DegradationLadder
+
+            self.degradation_ladder = DegradationLadder(
+                self.fabric,
+                self.drain_controller,
+                check_interval=config.deadlock_check_interval,
+                grace=config.deadlock_grace,
+            )
+
         self.fault_injector = None
-        if fault_schedule is not None:
+        if fault_schedule is not None or pause_storm is not None:
             from ..faults.injector import FaultInjector
 
             self.fault_injector = FaultInjector(
@@ -268,6 +308,7 @@ class Simulation:
                 policy=fault_policy,
                 curve_window=fault_curve_window,
                 max_circuits=fault_max_circuits,
+                storm=pause_storm,
             )
 
         #: Reference mode: plain per-cycle stepping, no fast-forward.
@@ -278,6 +319,7 @@ class Simulation:
             component.next_event_cycle
             for component in (
                 self.fault_injector,
+                self.degradation_ladder,
                 self.drain_controller,
                 self.spin_controller,
                 self.bubble_controller,
@@ -306,6 +348,10 @@ class Simulation:
             # consistent post-fault network.
             self.fault_injector.step()
         self.traffic.generate(fabric, fabric.cycle)
+        if self.degradation_ladder is not None:
+            # Before the drain controller, so a forced drain collapses the
+            # countdown and the freeze fires this very cycle.
+            self.degradation_ladder.step()
         if self.drain_controller is not None:
             self.drain_controller.step()
         if self.spin_controller is not None:
@@ -439,6 +485,8 @@ class Simulation:
                 self.drain_controller.skip_cycles(prefix)
         if self.fault_injector is not None:
             self.fault_injector.step()
+        if self.degradation_ladder is not None:
+            self.degradation_ladder.step()
         if self.drain_controller is not None:
             self.drain_controller.step()
         if self.spin_controller is not None:

@@ -8,6 +8,7 @@ from .analysis import (
 )
 from .controller import DrainController
 from .hawick_james import count_circuits, elementary_circuits, find_circuit
+from .ladder import DegradationLadder
 from .path import (
     DrainPath,
     DrainPathError,
@@ -26,6 +27,7 @@ __all__ = [
     "TurnTable",
     "build_turn_tables",
     "DrainController",
+    "DegradationLadder",
     "misroute_expectation",
     "router_visit_counts",
     "drain_overhead_fraction",

@@ -219,6 +219,24 @@ class DrainController:
             )
         self._countdown -= count
 
+    def force_drain(self) -> bool:
+        """Collapse the epoch countdown so the next step opens a drain.
+
+        The degradation ladder calls this when the watchdog confirms a
+        CBD deadlock: instead of waiting out the remaining epoch, the
+        freeze fires on the very next (dense) :meth:`step`.  Returns
+        False — without touching anything — when a window is already in
+        progress.  The :meth:`skip_cycles` contract is preserved: the
+        countdown only shrinks, so a skip planned against the previous
+        horizon still raises before it could cross the new one, and the
+        ladder runs before the controller in the simulation step order,
+        making the forced window fire in the same dense cycle.
+        """
+        if self._state != "normal":
+            return False
+        self._countdown = min(self._countdown, 1)
+        return True
+
     # ------------------------------------------------------------------
     def _enter_drain(self) -> None:
         self._windows_done += 1

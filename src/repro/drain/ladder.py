@@ -1,0 +1,264 @@
+"""Staged degradation ladder: detect CBD -> force a drain -> drop-and-retry.
+
+Lossless (PFC) fabrics can wedge on cyclic buffer dependencies that no
+pause-threshold tuning resolves; DRAIN's periodic drain resolves them, but
+waiting out a multi-thousand-cycle epoch while the fabric is dead costs
+real latency.  The :class:`DegradationLadder` wires the deadlock oracle
+and the :class:`~repro.drain.controller.DrainController` into a staged
+response, escalating only as cheaper stages fail:
+
+1. **Detect** — on a fixed cadence, once progress has stalled past a
+   grace period, run the pause-aware wait-for-graph oracle
+   (:func:`repro.network.find_deadlocked_slots` with
+   ``assume_ejection_drains=False``) and capture the concrete minimal
+   cycle (:func:`repro.network.deadlock_cycle_payload`).
+2. **Escalate** — collapse the drain epoch via
+   :meth:`DrainController.force_drain`, so the next cycle opens a drain
+   window instead of waiting out the epoch.  Re-check after a backoff;
+   retry with doubled backoff up to a bounded budget (drains are cheap
+   but not free — each one freezes the fabric for the window).
+3. **Degrade** — if the forced drains did not clear the wedge (e.g. a
+   storm-pinned XOFF row that no rotation can open), drop the packets of
+   the minimal deadlock cycle and retransmit them from their sources
+   with exponential backoff — trading a bounded packet loss for
+   guaranteed progress, like end-to-end recovery in real RoCE fabrics.
+
+Per-stage counters and recovery latencies live on the ladder and surface
+through :meth:`summary` — never through the golden
+``NetworkStats.as_dict()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..network.deadlock import (
+    deadlock_cycle_payload,
+    extract_cycle,
+    find_deadlocked_slots,
+)
+from ..network.fabric import Fabric
+from ..router.packet import Packet
+from .controller import DrainController
+
+__all__ = ["DegradationLadder"]
+
+
+class DegradationLadder:
+    """Detect -> forced-drain -> drop-and-retransmit escalation engine."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        drain_controller: DrainController,
+        check_interval: int = 128,
+        grace: int = 64,
+        drain_retries: int = 3,
+        retransmit_backoff_base: int = 8,
+        retransmit_backoff_max: int = 1024,
+        max_retransmit_attempts: int = 8,
+    ) -> None:
+        if check_interval < 1:
+            raise ValueError("check_interval must be positive")
+        if drain_retries < 1:
+            raise ValueError("need at least one forced-drain retry")
+        self.fabric = fabric
+        self.drain_controller = drain_controller
+        self.check_interval = check_interval
+        self.grace = grace
+        self.drain_retries = drain_retries
+        self.retransmit_backoff_base = retransmit_backoff_base
+        self.retransmit_backoff_max = retransmit_backoff_max
+        self.max_retransmit_attempts = max_retransmit_attempts
+
+        #: "idle" (watching) or "waiting" (mid-episode, between stages).
+        self._state = "idle"
+        self._episode_start = 0
+        self._retries_used = 0
+        self._deadline = 0
+        #: Cycle of the episode's most recent stage action (forced drain
+        #: or drop); progress past it proves the stage is working.
+        self._stage_cycle = 0
+        #: Retransmission queue as (ready_cycle, seq, attempt, packet).
+        self._retransmit: List[Tuple[int, int, int, Packet]] = []
+        self._seq = 0
+
+        # Stage counters (ladder-local; see module docstring).
+        self.detections = 0
+        self.forced_drains = 0
+        self.cycle_drops = 0
+        self.packets_dropped = 0
+        self.packets_retransmitted = 0
+        self.packets_lost_forever = 0
+        self.recoveries = 0
+        self.recovery_cycles: List[int] = []
+        #: Minimal-cycle payload of the most recent detection.
+        self.last_cycle_payload: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    def _stuck_slots(self):
+        return find_deadlocked_slots(self.fabric, assume_ejection_drains=False)
+
+    def _detection_ready(self, cycle: int) -> bool:
+        fabric = self.fabric
+        return (
+            not fabric.frozen
+            and self.drain_controller.state == "normal"
+            and fabric.packets_in_network > 0
+            and cycle - fabric.last_progress_cycle >= self.grace
+        )
+
+    def _backoff_window(self) -> int:
+        return self.check_interval * (1 << (self._retries_used - 1))
+
+    def _escalate(self, cycle: int) -> None:
+        """Stage 2: force a drain window and schedule the re-check."""
+        if self.drain_controller.force_drain():
+            self.forced_drains += 1
+        self._retries_used += 1
+        self._state = "waiting"
+        self._stage_cycle = cycle
+        self._deadline = cycle + self._backoff_window()
+
+    def _degrade(self, cycle: int, stuck) -> None:
+        """Stage 3: drop the minimal deadlock cycle and retransmit it."""
+        fabric = self.fabric
+        slots = extract_cycle(fabric, stuck)
+        if slots is None:
+            # No rotatable cycle (pure ejection wedge): drop the whole
+            # stuck set — the bounded worst case, still live.
+            slots = sorted(stuck)
+        self.cycle_drops += 1
+        for port, vn, vc in slots:
+            if fabric._slot_get(port, vn, vc) is None:
+                continue
+            packet = fabric.fault_drop_slot(port, vn, vc)
+            self.packets_dropped += 1
+            fabric.stats.packets_lost += 1
+            self._schedule_retransmit(cycle, 0, packet)
+        # Confirm recovery on the normal cadence; the drop budget resets
+        # so a re-formed cycle climbs the full ladder again.
+        self._retries_used = 1
+        self._state = "waiting"
+        self._stage_cycle = cycle
+        self._deadline = cycle + self._backoff_window()
+
+    def _schedule_retransmit(self, cycle: int, attempt: int,
+                             packet: Packet) -> None:
+        if attempt >= self.max_retransmit_attempts:
+            self.packets_lost_forever += 1
+            return
+        delay = min(self.retransmit_backoff_max,
+                    self.retransmit_backoff_base << attempt)
+        self._seq += 1
+        self._retransmit.append((cycle + delay, self._seq, attempt, packet))
+
+    def _pump_retransmits(self, cycle: int) -> None:
+        if not self._retransmit:
+            return
+        ready = sorted(r for r in self._retransmit if r[0] <= cycle)
+        if not ready:
+            return
+        self._retransmit = [r for r in self._retransmit if r[0] > cycle]
+        fabric = self.fabric
+        for _, _, attempt, packet in ready:
+            packet.in_escape = False
+            packet.net_entry_cycle = None
+            packet.blocked_since = None
+            if fabric.offer_packet(packet):
+                self.packets_retransmitted += 1
+                fabric.stats.packets_retransmitted += 1
+            else:
+                self._schedule_retransmit(cycle, attempt + 1, packet)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Run the ladder for the current fabric cycle.
+
+        Must run *before* :meth:`DrainController.step` in the simulation
+        loop, so a forced drain collapses the countdown the same cycle.
+        """
+        cycle = self.fabric.cycle
+        self._pump_retransmits(cycle)
+        if self._state == "idle":
+            if cycle % self.check_interval:
+                return
+            if not self._detection_ready(cycle):
+                return
+            stuck = self._stuck_slots()
+            if not stuck:
+                return
+            self.detections += 1
+            self._episode_start = cycle
+            self._retries_used = 0
+            self.last_cycle_payload = deadlock_cycle_payload(
+                self.fabric, stuck
+            )
+            self._escalate(cycle)
+            return
+
+        # waiting: between a forced drain (or a drop) and its re-check.
+        if cycle < self._deadline:
+            return
+        if self.fabric.frozen or self.drain_controller.state != "normal":
+            return  # the forced window is still running; re-check after
+        if (
+            self.fabric.packets_in_network == 0
+            or cycle - self.fabric.last_progress_cycle < self.grace
+        ):
+            # The fabric is empty or visibly moving again: resolved.
+            self._recover(cycle)
+            return
+        stuck = self._stuck_slots()
+        if not stuck:
+            self._recover(cycle)
+            return
+        if self.fabric.last_progress_cycle > self._stage_cycle:
+            # The last stage action produced real progress (a drain
+            # rotation counts) even though some packets are stuck again:
+            # the drains are working, so keep greasing the fabric with
+            # them rather than escalating to packet drops.
+            self._retries_used = 0
+            self._escalate(cycle)
+        elif self._retries_used < self.drain_retries:
+            self._escalate(cycle)
+        else:
+            # A whole backoff ladder of forced drains moved nothing:
+            # the wedge is undrainable (e.g. storm-pinned pauses).
+            self._degrade(cycle, stuck)
+
+    def _recover(self, cycle: int) -> None:
+        self.recoveries += 1
+        self.recovery_cycles.append(cycle - self._episode_start)
+        self._state = "idle"
+        self._retries_used = 0
+
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, now: int) -> int:
+        """First cycle >= *now* at which :meth:`step` may act."""
+        if self._state == "waiting":
+            nxt = max(now, self._deadline)
+        else:
+            nxt = now if now % self.check_interval == 0 else (
+                (now // self.check_interval + 1) * self.check_interval
+            )
+        for ready, _, _, _ in self._retransmit:
+            if ready < nxt:
+                nxt = ready
+        return max(now, nxt)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Per-stage counters (kept out of the golden ``as_dict``)."""
+        return {
+            "detections": self.detections,
+            "forced_drains": self.forced_drains,
+            "cycle_drops": self.cycle_drops,
+            "packets_dropped": self.packets_dropped,
+            "packets_retransmitted": self.packets_retransmitted,
+            "packets_lost_forever": self.packets_lost_forever,
+            "recoveries": self.recoveries,
+            "recovery_cycles": list(self.recovery_cycles),
+            "pending_retransmits": len(self._retransmit),
+            "deadlock_cycle": self.last_cycle_payload,
+        }

@@ -18,6 +18,7 @@ Attach a schedule to a :class:`~repro.core.simulator.Simulation` via its
 from .injector import FAULT_POLICIES, FaultInjector
 from .recovery import RecoveryResult, recover_drain_paths
 from .schedule import ONSET_DISTRIBUTIONS, FaultEvent, FaultSchedule
+from .storm import STORM_EVENT_KINDS, PauseStormEvent, PauseStormSchedule
 
 __all__ = [
     "FaultEvent",
@@ -25,6 +26,9 @@ __all__ = [
     "FaultInjector",
     "FAULT_POLICIES",
     "ONSET_DISTRIBUTIONS",
+    "PauseStormEvent",
+    "PauseStormSchedule",
+    "STORM_EVENT_KINDS",
     "RecoveryResult",
     "recover_drain_paths",
 ]

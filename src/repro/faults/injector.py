@@ -35,6 +35,7 @@ from ..drain.path import DrainPathError
 from ..router.packet import Packet
 from .recovery import recover_drain_paths
 from .schedule import FaultEvent, FaultSchedule
+from .storm import PauseStormEvent, PauseStormSchedule
 
 __all__ = ["FaultInjector", "FAULT_POLICIES"]
 
@@ -42,18 +43,25 @@ FAULT_POLICIES = ("drop_retransmit", "source_reroute")
 
 
 class FaultInjector:
-    """Apply a fault schedule to a running simulation, cycle by cycle."""
+    """Apply a fault schedule to a running simulation, cycle by cycle.
+
+    Optionally also steps a :class:`PauseStormSchedule` — flow-control
+    faults (stuck XOFF rows, delayed resumes, victim bursts) — through
+    the same pipeline; storms require a pause-capable fabric
+    (:class:`repro.network.PauseResumeFabric`).
+    """
 
     def __init__(
         self,
         sim,
-        schedule: FaultSchedule,
+        schedule: Optional[FaultSchedule] = None,
         policy: str = "drop_retransmit",
         curve_window: int = 0,
         max_circuits: int = 512,
         backoff_base: int = 8,
         backoff_max: int = 1024,
         max_retransmit_attempts: int = 8,
+        storm: Optional[PauseStormSchedule] = None,
     ) -> None:
         if policy not in FAULT_POLICIES:
             raise ValueError(
@@ -61,8 +69,18 @@ class FaultInjector:
             )
         if curve_window < 0:
             raise ValueError("curve_window must be >= 0")
+        if schedule is None:
+            schedule = FaultSchedule(events=())
+        if storm is not None and any(
+            e.kind in ("stuck_xoff", "resume_jitter") for e in storm
+        ) and not hasattr(sim.fabric, "force_pause"):
+            raise ValueError(
+                "pause storms need a pause/resume fabric: set "
+                "flow_control='pause_resume' in the SimConfig"
+            )
         self.sim = sim
         self.schedule = schedule
+        self.storm = storm
         self.policy = policy
         self.curve_window = curve_window
         self.max_circuits = max_circuits
@@ -80,6 +98,15 @@ class FaultInjector:
         #: Retransmission queue as (ready_cycle, seq, attempt, packet).
         self._retransmit: List[Tuple[int, int, int, Packet]] = []
         self._seq = 0
+
+        #: Pause-storm pipeline state.
+        self._storm_events: List[PauseStormEvent] = (
+            list(storm.events) if storm is not None else []
+        )
+        self._next_storm = 0
+        #: Active resume-jitter intervals as (expiry_cycle, jitter).
+        self._jitter_active: List[Tuple[int, int]] = []
+        self.storm_applied = 0
 
         #: Per-recompute metadata (cycle, engine, components, ...).
         self.recomputes: List[Dict[str, Any]] = []
@@ -118,6 +145,7 @@ class FaultInjector:
             changed = True
         if changed:
             self._reconfigure(cycle, dropped or [])
+        self._apply_storm(cycle)
         self._pump_retransmits(cycle)
         if self.curve_window and cycle and cycle % self.curve_window == 0:
             self._sample_curve(cycle)
@@ -134,6 +162,13 @@ class FaultInjector:
         nxt: Optional[int] = None
         if self._next_event < len(self._events):
             nxt = self._events[self._next_event].cycle
+        if self._next_storm < len(self._storm_events):
+            storm_cycle = self._storm_events[self._next_storm].cycle
+            if nxt is None or storm_cycle < nxt:
+                nxt = storm_cycle
+        for expiry, _ in self._jitter_active:
+            if nxt is None or expiry < nxt:
+                nxt = expiry
         for ready, _, _ in self._repairs:
             if nxt is None or ready < nxt:
                 nxt = ready
@@ -282,6 +317,44 @@ class FaultInjector:
         self.recomputes.append(record)
 
     # ------------------------------------------------------------------
+    def _apply_storm(self, cycle: int) -> None:
+        """Apply due pause-storm events and expire resume-jitter windows."""
+        if self._jitter_active:
+            live = [(e, v) for e, v in self._jitter_active if e > cycle]
+            if len(live) != len(self._jitter_active):
+                self._jitter_active = live
+                self.sim.fabric.resume_jitter = max(
+                    (v for _, v in live), default=0
+                )
+        events = self._storm_events
+        if self._next_storm >= len(events):
+            return
+        fabric = self.sim.fabric
+        traffic = getattr(self.sim, "traffic", None)
+        while self._next_storm < len(events) and events[self._next_storm].cycle <= cycle:
+            event = events[self._next_storm]
+            self._next_storm += 1
+            self.storm_applied += 1
+            if event.kind == "stuck_xoff":
+                link, vn = event.target
+                fabric.force_pause(link, vn, cycle + event.duration)
+            elif event.kind == "resume_jitter":
+                self._jitter_active.append(
+                    (cycle + event.duration, event.value)
+                )
+                fabric.resume_jitter = max(
+                    v for _, v in self._jitter_active
+                )
+            else:  # burst
+                if traffic is None or not hasattr(traffic, "queue_burst"):
+                    raise ValueError(
+                        "burst storm events need flow-level traffic with "
+                        "queue_burst (repro.traffic.FlowTraffic)"
+                    )
+                src, dst = event.target
+                traffic.queue_burst(src, dst, event.value, cycle)
+
+    # ------------------------------------------------------------------
     def _schedule_retransmit(self, cycle: int, attempt: int, packet: Packet) -> None:
         if attempt >= self.max_retransmit_attempts:
             return
@@ -368,6 +441,10 @@ class FaultInjector:
             "unreachable_pairs": self.sim.index.unreachable_pairs(),
             "events_remaining": self.events_remaining,
             "recovery_curve": list(self.curve),
+            "storm_applied": self.storm_applied,
+            "storm_events_remaining": (
+                len(self._storm_events) - self._next_storm
+            ),
         }
 
 

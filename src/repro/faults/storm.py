@@ -1,0 +1,185 @@
+"""Deterministic, seed-derived PFC pause-storm schedules.
+
+A :class:`PauseStormSchedule` is the pause-mode analogue of
+:class:`repro.faults.FaultSchedule`: an ordered list of
+:class:`PauseStormEvent` records describing lossless-fabric failure modes
+that are *flow-control* faults rather than physical ones:
+
+- ``stuck_xoff`` — a switch keeps honouring a pause frame long after the
+  congestion cleared (lost XON / babbling pauser): one (link port, VN)
+  row is pinned XOFF for ``duration`` cycles via
+  :meth:`repro.network.PauseResumeFabric.force_pause`.
+- ``resume_jitter`` — slow pause-frame processing: every XON in the
+  fabric is delayed by ``value`` cycles for ``duration`` cycles.
+- ``burst`` — a victim-flow burst: ``count`` packets from ``target[0]``
+  to ``target[1]`` are enqueued at once through
+  :meth:`repro.traffic.FlowTraffic.queue_burst`, loading the dependency
+  cycle the stuck pauses created.
+
+Schedules are plain data (JSON round-trippable, digest-hashable) and are
+stepped by :class:`repro.faults.FaultInjector` alongside physical faults.
+Generation is fully determined by ``(topology, seed, parameters)``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..core import rng as rng_mod
+from ..topology.graph import Topology
+
+__all__ = ["PauseStormEvent", "PauseStormSchedule", "STORM_EVENT_KINDS"]
+
+STORM_EVENT_KINDS = ("stuck_xoff", "resume_jitter", "burst")
+
+
+@dataclass(frozen=True, order=True)
+class PauseStormEvent:
+    """One storm event at *cycle*.
+
+    ``target`` is ``(link_port, vn)`` for ``stuck_xoff``, ``(0, 0)``
+    (unused) for ``resume_jitter``, and ``(src, dst)`` for ``burst``.
+    ``value`` is the jitter in cycles for ``resume_jitter`` and the
+    packet count for ``burst``; ``duration`` is how long a
+    ``stuck_xoff``/``resume_jitter`` condition holds.
+    """
+
+    cycle: int
+    kind: str
+    target: Tuple[int, int]
+    duration: int = 0
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORM_EVENT_KINDS:
+            raise ValueError(f"unknown storm event kind {self.kind!r}")
+        if self.cycle < 0:
+            raise ValueError("storm events cannot strike before cycle 0")
+        if self.kind in ("stuck_xoff", "resume_jitter") and self.duration < 1:
+            raise ValueError(f"{self.kind} events need a positive duration")
+        if self.kind == "burst" and self.value < 1:
+            raise ValueError("burst events need a positive packet count")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "cycle": self.cycle,
+            "kind": self.kind,
+            "target": list(self.target),
+            "duration": self.duration,
+            "value": self.value,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "PauseStormEvent":
+        return PauseStormEvent(
+            cycle=int(data["cycle"]),
+            kind=str(data["kind"]),
+            target=(int(data["target"][0]), int(data["target"][1])),
+            duration=int(data.get("duration", 0)),
+            value=int(data.get("value", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class PauseStormSchedule:
+    """An ordered batch of pause-storm events plus generation provenance."""
+
+    events: Tuple[PauseStormEvent, ...]
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(sorted(self.events)))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "events": [e.as_dict() for e in self.events],
+            "seed": self.seed,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "PauseStormSchedule":
+        return PauseStormSchedule(
+            events=tuple(PauseStormEvent.from_dict(e) for e in data["events"]),
+            seed=data.get("seed"),
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "PauseStormSchedule":
+        return PauseStormSchedule.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def generate(
+        topology: Topology,
+        num_events: int,
+        seed: int,
+        window: Tuple[int, int],
+        num_vns: int = 1,
+        stuck_fraction: float = 0.5,
+        jitter_fraction: float = 0.2,
+        stuck_duration: int = 400,
+        jitter: int = 8,
+        burst_count: int = 4,
+    ) -> "PauseStormSchedule":
+        """Draw a deterministic storm of *num_events* events.
+
+        Onset cycles are uniform over ``[window[0], window[1])``.  Each
+        event is a ``stuck_xoff`` with probability *stuck_fraction*, a
+        ``resume_jitter`` with probability *jitter_fraction*, and a
+        victim ``burst`` otherwise.  Stuck-XOFF targets are drawn over
+        the topology's directed link ports (two per bidirectional edge,
+        matching :class:`repro.network.FabricIndex` port ids) and VN
+        ``rng.randrange(num_vns)``; burst endpoints are distinct nodes.
+        """
+        if num_events < 0:
+            raise ValueError("num_events must be >= 0")
+        start, end = window
+        if not 0 <= start < end:
+            raise ValueError(
+                f"storm window {window} must satisfy 0 <= start < end"
+            )
+        if num_vns < 1:
+            raise ValueError("num_vns must be >= 1")
+        if not 0.0 <= stuck_fraction + jitter_fraction <= 1.0:
+            raise ValueError(
+                "stuck_fraction + jitter_fraction must be in [0, 1]"
+            )
+        num_links = 2 * topology.num_edges
+        if num_links == 0:
+            raise ValueError("cannot storm a topology with no links")
+        rng = rng_mod.spawn(seed, "pause-storm", topology.name, num_events)
+        events: List[PauseStormEvent] = []
+        for _ in range(num_events):
+            cycle = start + rng.randrange(end - start)
+            u = rng.random()
+            if u < stuck_fraction:
+                link = rng.randrange(num_links)
+                vn = rng.randrange(num_vns)
+                events.append(PauseStormEvent(
+                    cycle, "stuck_xoff", (link, vn), duration=stuck_duration
+                ))
+            elif u < stuck_fraction + jitter_fraction:
+                events.append(PauseStormEvent(
+                    cycle, "resume_jitter", (0, 0),
+                    duration=stuck_duration, value=jitter,
+                ))
+            else:
+                src = rng.randrange(topology.num_nodes)
+                dst = rng.randrange(topology.num_nodes - 1)
+                if dst >= src:
+                    dst += 1
+                events.append(PauseStormEvent(
+                    cycle, "burst", (src, dst), value=burst_count
+                ))
+        return PauseStormSchedule(tuple(events), seed=seed)

@@ -40,6 +40,7 @@ from .trials import (
     coherence_trial,
     execute_trial,
     fault_recovery_trial,
+    lossless_trial,
     register_runner,
     synthetic_trial,
     topology_from_spec,
@@ -64,6 +65,7 @@ __all__ = [
     "fault_recovery_trial",
     "get_default_harness",
     "git_revision",
+    "lossless_trial",
     "register_runner",
     "run_trials",
     "set_default_harness",

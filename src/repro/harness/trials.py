@@ -55,6 +55,7 @@ __all__ = [
     "workload_trial",
     "coherence_trial",
     "fault_recovery_trial",
+    "lossless_trial",
 ]
 
 #: Bump to invalidate every cached result when trial semantics change.
@@ -395,6 +396,99 @@ def _run_fault_recovery(params: Mapping[str, Any]) -> Dict[str, Any]:
         out["drain_covered_links"] = sim.drain_controller.total_path_length()
         out["drain_cycles_installed"] = len(sim.drain_controller.paths)
     out["links_alive"] = sim.index.num_links - len(sim.index.dead_links)
+    return out
+
+
+def lossless_trial(
+    topology: Topology,
+    config: SimConfig,
+    flows,
+    cycles: int,
+    storm=None,
+    degradation_ladder: bool = False,
+    halt_on_deadlock: bool = False,
+    traffic_seed: Optional[int] = None,
+) -> TrialSpec:
+    """Spec for one flow-level run on a lossless (pause/resume) fabric.
+
+    *flows* is a list of :class:`repro.traffic.Flow` (or ``[src, dst,
+    rate, packets]`` lists); *storm* an optional
+    :class:`repro.faults.PauseStormSchedule` (or its dict form). All
+    lossless-specific parameters live under the ``lossless`` key, so
+    credit-mode trial digests are untouched by this subsystem.
+    """
+    if traffic_seed is None:
+        traffic_seed = derive_seed(config.seed, "flows", len(flows))
+    flow_lists = [
+        list(f.as_tuple()) if hasattr(f, "as_tuple") else list(f)
+        for f in flows
+    ]
+    storm_dict = None
+    if storm is not None:
+        storm_dict = storm if isinstance(storm, Mapping) else storm.as_dict()
+    return TrialSpec(
+        "lossless",
+        {
+            "topology": topology_to_spec(topology),
+            "config": config_to_dict(config),
+            "cycles": cycles,
+            "traffic_seed": traffic_seed,
+            "lossless": {
+                "flows": flow_lists,
+                "storm": storm_dict,
+                "degradation_ladder": degradation_ladder,
+                "halt_on_deadlock": halt_on_deadlock,
+            },
+        },
+    )
+
+
+@register_runner("lossless")
+def _run_lossless(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from ..faults.storm import PauseStormSchedule
+    from ..traffic.flows import Flow, FlowTraffic
+
+    topology = topology_from_spec(params["topology"])
+    config = config_from_dict(params["config"])
+    lossless = params["lossless"]
+    flows = [
+        Flow(int(f[0]), int(f[1]), float(f[2]),
+             packets=None if f[3] is None else int(f[3]))
+        for f in lossless["flows"]
+    ]
+    traffic = FlowTraffic(flows, random.Random(params["traffic_seed"]))
+    storm = None
+    if lossless.get("storm") is not None:
+        storm = PauseStormSchedule.from_dict(lossless["storm"])
+    sim = Simulation(
+        topology, config, traffic,
+        halt_on_deadlock=lossless.get("halt_on_deadlock", False),
+        pause_storm=storm,
+        degradation_ladder=lossless.get("degradation_ladder", False),
+    )
+    sim.run(params["cycles"])
+    out = _summarise(sim)
+    out["runtime"] = sim.stats.cycles
+    out["generated"] = traffic.generated
+    out["delivered"] = traffic.delivered
+    out["recovery_ratio"] = (
+        traffic.delivered / traffic.generated if traffic.generated else 1.0
+    )
+    out["finished"] = traffic.done()
+    out["deadlocked"] = sim.deadlocked
+    out["deadlock_cycle"] = (
+        sim.watchdog.cycle_payload if sim.watchdog is not None else None
+    )
+    if hasattr(sim.fabric, "pfc_summary"):
+        out["pfc"] = sim.fabric.pfc_summary()
+    if sim.degradation_ladder is not None:
+        ladder = sim.degradation_ladder.summary()
+        out["ladder"] = ladder
+        out["lost_forever"] = ladder["packets_lost_forever"]
+    else:
+        out["lost_forever"] = 0
+    if sim.fault_injector is not None:
+        out["storm_applied"] = sim.fault_injector.storm_applied
     return out
 
 

@@ -2,6 +2,7 @@
 
 from .bubbleflow import BubbleFlowFabric, TorusDorRouting
 from .deadlock import (
+    deadlock_cycle_payload,
     extract_cycle,
     find_deadlocked_slots,
     has_deadlock,
@@ -9,6 +10,7 @@ from .deadlock import (
 )
 from .fabric import EJECT, Fabric
 from .index import FabricIndex
+from .pause import PauseResumeFabric
 from .spin import SpinController
 from .staticbubble import StaticBubbleController
 from .wormhole import WormholeFabric
@@ -22,8 +24,10 @@ __all__ = [
     "StaticBubbleController",
     "BubbleFlowFabric",
     "TorusDorRouting",
+    "PauseResumeFabric",
     "find_deadlocked_slots",
     "extract_cycle",
     "rotate_cycle",
     "has_deadlock",
+    "deadlock_cycle_payload",
 ]

@@ -31,6 +31,7 @@ __all__ = [
     "extract_cycle",
     "rotate_cycle",
     "has_deadlock",
+    "deadlock_cycle_payload",
 ]
 
 Slot = Tuple[int, int, int]  # (port, vn, vc)
@@ -80,7 +81,7 @@ class WaitForGraph:
     that set.
     """
 
-    __slots__ = ("fabric", "assume", "occupant", "targets", "at_dest")
+    __slots__ = ("fabric", "assume", "occupant", "targets", "at_dest", "paused")
 
     def __init__(self, fabric: Fabric, assume_ejection_drains: bool = True) -> None:
         self.fabric = fabric
@@ -89,6 +90,13 @@ class WaitForGraph:
         self.targets: Dict[Slot, List[Slot]] = {}
         #: Present only for at-destination slots; value = ejectable flag.
         self.at_dest: Dict[Slot, bool] = {}
+        #: Pause-aware fabrics (PFC) report their XOFF rows as
+        #: ``(port, vn) -> occupied slots``; a free slot in a paused row is
+        #: *not* claimable — the waiter depends on the row's occupants
+        #: instead (only their departure re-opens the row). Absent on the
+        #: base credit fabric, so credit-mode analysis is untouched.
+        paused_hook = getattr(fabric, "paused_rows", None)
+        self.paused = paused_hook() if paused_hook is not None else None
         for port, vn, vc, packet in fabric.occupied_slots():
             slot = (port, vn, vc)
             self.occupant[slot] = packet
@@ -130,6 +138,13 @@ class WaitForGraph:
         """The OR-request-model fixpoint over the stored wait-for edges."""
         occupant = self.occupant
         at_dest = self.at_dest
+        paused = self.paused
+        # Escape-exempt fabrics (DRAIN over PFC) let any packet claim a
+        # free escape VC (vc 0) even in an XOFF row — mirror that here or
+        # the oracle would report deadlocks the escape channel resolves.
+        exempt = paused is not None and getattr(
+            self.fabric, "pause_exempt_escape", False
+        )
         can_move: Set[Slot] = set()
         waiters: Dict[Slot, List[Slot]] = {}
         frontier: List[Slot] = []
@@ -142,7 +157,20 @@ class WaitForGraph:
             movable = False
             for t in tgt:
                 if t not in occupant:
-                    movable = True
+                    row_occ = paused.get((t[0], t[1])) if paused else None
+                    if row_occ is None or not row_occ or (
+                        exempt and t[2] == 0
+                    ):
+                        # Free and unpaused, paused-but-empty (a forced
+                        # pause with a finite expiry), or a pause-exempt
+                        # escape slot: eventually claimable.
+                        movable = True
+                    else:
+                        # Free slot in a paused row: claimable only after
+                        # an occupant leaves and the row XONs (OR over the
+                        # occupants, like OR over target slots).
+                        for held in row_occ:
+                            waiters.setdefault(held, []).append(slot)
                 else:
                     waiters.setdefault(t, []).append(slot)
             if movable:
@@ -206,11 +234,14 @@ def extract_cycle(
     index = fabric.index
     if graph is not None:
         occupant = graph.occupant
+        paused = graph.paused
     else:
         occupant = {
             (port, vn, vc): packet
             for port, vn, vc, packet in fabric.occupied_slots()
         }
+        paused_hook = getattr(fabric, "paused_rows", None)
+        paused = paused_hook() if paused_hook is not None else None
 
     succ: Dict[Slot, List[Slot]] = {}
     for slot in deadlocked:
@@ -223,7 +254,21 @@ def extract_cycle(
             tgt = graph.targets[slot]
         else:
             tgt = _target_slots(fabric, router, slot[1], packet)
-        succ[slot] = [t for t in tgt if t in deadlocked]
+        edges: List[Slot] = []
+        for t in tgt:
+            if t in deadlocked:
+                if t not in edges:
+                    edges.append(t)
+            elif paused and t not in occupant:
+                if t[2] == 0 and getattr(fabric, "pause_exempt_escape", False):
+                    continue  # claimable despite the pause; no edge
+                # Free slot in a paused row: the wait-for edge runs to the
+                # row's deadlocked occupants (see WaitForGraph.deadlocked),
+                # so the extracted cycle traverses pause-induced CBD edges.
+                for held in paused.get((t[0], t[1]), ()):
+                    if held in deadlocked and held not in edges:
+                        edges.append(held)
+        succ[slot] = edges
 
     # Iterative DFS for any cycle in the deadlocked wait-for subgraph.
     color: Dict[Slot, int] = {}  # 0 absent/white, 1 grey (on stack), 2 black
@@ -256,6 +301,61 @@ def extract_cycle(
                 cycle.reverse()
                 return cycle
     return None
+
+
+def deadlock_cycle_payload(
+    fabric: Fabric,
+    deadlocked: Set[Slot],
+    graph: Optional[WaitForGraph] = None,
+) -> Optional[Dict]:
+    """Describe one minimal deadlock cycle as a JSON-ready payload.
+
+    Mirrors the certifier's counterexample shape (``kind`` + ``cycle``):
+    the static certifier reports a ``turn-cycle`` over channel
+    dependencies; this is the runtime analogue — a ``buffer-cycle`` over
+    concrete occupied VC slots, naming the routers, links and holding
+    packets so a watchdog halt is actionable. Returns ``None`` when the
+    deadlocked set contains no cycle (pure ejection-queue wedges).
+    """
+    cycle = extract_cycle(fabric, deadlocked, graph)
+    if cycle is None:
+        return None
+    index = fabric.index
+    hops = []
+    routers: List[int] = []
+    links: List[List[int]] = []
+    for port, vn, vc in cycle:
+        packet = fabric._slot_get(port, vn, vc)
+        router = index.port_router[port]
+        if index.is_injection_port(port):
+            link = None
+        else:
+            link = [index.link_src[port], index.link_dst[port]]
+            if link not in links:
+                links.append(link)
+        if router not in routers:
+            routers.append(router)
+        hops.append({
+            "router": router,
+            "port": port,
+            "vn": vn,
+            "vc": vc,
+            "link": link,
+            "packet": None if packet is None else {
+                "pid": packet.pid,
+                "src": packet.src,
+                "dst": packet.dst,
+                "msg_class": packet.msg_class.name,
+                "hops": packet.hops,
+            },
+        })
+    return {
+        "kind": "buffer-cycle",
+        "length": len(hops),
+        "routers": routers,
+        "links": links,
+        "cycle": hops,
+    }
 
 
 def rotate_cycle(fabric: Fabric, cycle: List[Slot], forced_kind: str) -> int:

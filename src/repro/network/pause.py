@@ -1,0 +1,218 @@
+"""PFC-style pause/resume (XOFF/XON) flow control.
+
+:class:`PauseResumeFabric` models lossless-Ethernet Priority Flow Control
+on top of the credit-mode fabric.  The unit of pausing is a buffer *row*:
+the ``vcs_per_vn`` VC slots of one (link port, VN) pair — the analogue of
+one PFC priority class on one switch input port.  A row asserts XOFF once
+its occupancy reaches ``pause_threshold`` and releases it (XON) only when
+occupancy falls back to ``resume_threshold`` (strict hysteresis).  While a
+row is XOFF, upstream allocation may not claim any of its slots — even
+free ones — which is exactly how pause propagation builds the cyclic
+buffer dependencies (CBD) that wedge real lossless fabrics: the deadlock
+is caused by the flow control itself, not by routing.
+
+Semantics notes:
+
+- Injection ports are never paused (hosts are admission-controlled by the
+  NI queues) and ejection is never paused (the sink always drains) — CBD
+  lives entirely in the link-buffer graph, as in the reference scenario
+  (SNIPPETS Snippet 2).
+- Pause state only changes in :meth:`_slot_set`, :meth:`_apply_moves` and
+  the expiry scan at the top of :meth:`movement_stage`, so one cycle's
+  allocation loop observes a consistent start-of-cycle XOFF snapshot.
+- ``force_pause`` (used by :class:`repro.faults.PauseStormSchedule`)
+  pins a row XOFF until a given cycle even if its occupancy would allow
+  XON — the "stuck pause frame" failure mode; ``resume_jitter`` delays
+  every XON by a fixed number of cycles (slow pause-frame processing).
+- The vectorized movement engine does not model pause state; like every
+  flow-control subclass it records a structural fallback reason and runs
+  the scalar kernel (see DESIGN.md "Lossless flow control & pause
+  storms").  Dense reference semantics are unchanged: ``dense=True``
+  drives the same scalar loop with active-set skips disabled.
+- Event-horizon soundness: a quiescent fabric holds no packets, so every
+  row occupancy is zero and the only latent pause state is a forced pause
+  whose expiry mutates nothing observable while the network is empty; the
+  expiry scan processes overdue entries lazily on the next dense cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..router.packet import Packet
+from .fabric import Fabric
+
+__all__ = ["PauseResumeFabric"]
+
+
+class PauseResumeFabric(Fabric):
+    """Credit fabric with per-(link port, VN) XOFF/XON pause semantics."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        #: Row bookkeeping must exist before ``super().__init__`` returns
+        #: only if the base constructor wrote buffer slots — it does not,
+        #: but ``_slot_set`` is overridden below, so guard with a flag.
+        self._pfc_ready = False
+        super().__init__(*args, **kwargs)
+        pfc = self.config.pfc
+        self.pause_threshold = pfc.pause_threshold
+        self.resume_threshold = pfc.resume_threshold
+        self.headroom = pfc.headroom
+        if self.pause_threshold + self.headroom > self.vcs_per_vn:
+            raise ValueError(
+                f"pfc pause_threshold ({self.pause_threshold}) + headroom "
+                f"({self.headroom}) exceeds the buffer depth "
+                f"({self.vcs_per_vn} VCs per VN)"
+            )
+        num_rows = self.index.num_links * self.num_vns
+        #: Per-row occupancy and XOFF state; row = port * num_vns + vn.
+        self._row_occ = bytearray(num_rows)
+        self._xoff = bytearray(num_rows)
+        #: Rows whose XON is deferred: forced pauses (pause storms) and
+        #: jittered resumes; row -> earliest cycle XON may fire.
+        self._pause_until: Dict[int, int] = {}
+        #: Cycles every XON is delayed by (pause-frame processing time).
+        self.resume_jitter = 0
+        # PFC counters — surfaced via pfc_summary(), never via the golden
+        # NetworkStats.as_dict().
+        self.pfc_pauses = 0
+        self.pfc_resumes = 0
+        self.pfc_stalls = 0
+        self.pfc_forced = 0
+        #: PFC pause governs the *adaptive* VCs only: when an escape
+        #: discipline is configured, its VC 0 has dedicated reserved
+        #: buffering (that is what ``headroom`` provisions), so escape
+        #: entry ignores XOFF. This is the DRAIN/PFC integration point:
+        #: pause-induced CBD can never close over the escape channel,
+        #: and the drain rotation empties it regardless of pause state.
+        self.pause_exempt_escape = self.escape_mode is not None
+        self._pfc_ready = True
+
+    # ------------------------------------------------------------------
+    # Row state maintenance
+    # ------------------------------------------------------------------
+    def _recount_row(self, row: int) -> None:
+        """Recompute one row's occupancy and apply pause hysteresis."""
+        port, vn = divmod(row, self.num_vns)
+        base = port * self._port_stride + vn * self.vcs_per_vn
+        flat = self._buf
+        occ = 0
+        for i in range(self.vcs_per_vn):
+            if flat[base + i] is not None:
+                occ += 1
+        self._row_occ[row] = occ
+        if self._xoff[row]:
+            if occ <= self.resume_threshold:
+                if row in self._pause_until:
+                    return  # forced pause / jitter already armed
+                if self.resume_jitter > 0:
+                    self._pause_until[row] = self.cycle + self.resume_jitter
+                    return
+                self._xoff[row] = 0
+                self.pfc_resumes += 1
+        elif occ >= self.pause_threshold:
+            self._xoff[row] = 1
+            self.pfc_pauses += 1
+
+    def _slot_set(self, port: int, vn: int, vc: int,
+                  packet: Optional[Packet]) -> None:
+        super()._slot_set(port, vn, vc, packet)
+        if self._pfc_ready and port < self.index.num_links:
+            self._recount_row(port * self.num_vns + vn)
+
+    def _apply_moves(self, moves, ejects) -> None:
+        super()._apply_moves(moves, ejects)
+        if not (moves or ejects):
+            return
+        num_links = self.index.num_links
+        num_vns = self.num_vns
+        dirty = set()
+        for port, vn, _vc, link, tvn, _tvc, _pkt in moves:
+            if port < num_links:
+                dirty.add(port * num_vns + vn)
+            dirty.add(link * num_vns + tvn)
+        for port, vn, _vc, _pkt in ejects:
+            if port < num_links:
+                dirty.add(port * num_vns + vn)
+        for row in sorted(dirty):
+            self._recount_row(row)
+
+    # ------------------------------------------------------------------
+    # Pipeline hooks
+    # ------------------------------------------------------------------
+    def movement_stage(self) -> None:
+        if self._pause_until:
+            cycle = self.cycle
+            expired = sorted(
+                row for row, until in self._pause_until.items()
+                if until <= cycle
+            )
+            for row in expired:
+                del self._pause_until[row]
+                if self._xoff[row] and self._row_occ[row] <= self.resume_threshold:
+                    self._xoff[row] = 0
+                    self.pfc_resumes += 1
+        super().movement_stage()
+
+    def _pick_vc(self, port: int, vn: int, vc_mode: int, claimed) -> int:
+        if port < self.index.num_links and self._xoff[port * self.num_vns + vn]:
+            if not self.pause_exempt_escape or vc_mode in (3, 4):
+                self.pfc_stalls += 1
+                return -1
+            # Escape channel exempt: restrict the claim to VC 0.
+            vc = super()._pick_vc(port, vn, 2, claimed)
+            if vc < 0:
+                self.pfc_stalls += 1
+            return vc
+        return super()._pick_vc(port, vn, vc_mode, claimed)
+
+    # ------------------------------------------------------------------
+    # Storm / oracle API
+    # ------------------------------------------------------------------
+    def force_pause(self, port: int, vn: int, until_cycle: int) -> None:
+        """Pin row (*port*, *vn*) XOFF until *until_cycle* (stuck pause)."""
+        if not 0 <= port < self.index.num_links:
+            raise ValueError(f"force_pause needs a link port, got {port}")
+        row = port * self.num_vns + vn
+        if not self._xoff[row]:
+            self._xoff[row] = 1
+            self.pfc_pauses += 1
+        self.pfc_forced += 1
+        prev = self._pause_until.get(row, until_cycle)
+        self._pause_until[row] = max(prev, until_cycle)
+
+    def paused_rows(self) -> Dict[Tuple[int, int], Tuple]:
+        """XOFF rows as ``(port, vn) -> occupied slots`` for the oracle.
+
+        The deadlock wait-for graph uses this to treat a *free* slot in a
+        paused row as unavailable: the waiter instead depends on the row's
+        occupants, since only their departure can drop occupancy to the
+        resume threshold and re-open the row.
+        """
+        out: Dict[Tuple[int, int], Tuple] = {}
+        num_vns = self.num_vns
+        flat = self._buf
+        vcs = self.vcs_per_vn
+        for row, flag in enumerate(self._xoff):
+            if not flag:
+                continue
+            port, vn = divmod(row, num_vns)
+            base = port * self._port_stride + vn * vcs
+            out[(port, vn)] = tuple(
+                (port, vn, vc) for vc in range(vcs)
+                if flat[base + vc] is not None
+            )
+        return out
+
+    def paused_row_count(self) -> int:
+        return sum(self._xoff)
+
+    def pfc_summary(self) -> Dict[str, int]:
+        """PFC counters (kept out of the golden ``NetworkStats.as_dict``)."""
+        return {
+            "pauses_asserted": self.pfc_pauses,
+            "resumes": self.pfc_resumes,
+            "pause_stalls": self.pfc_stalls,
+            "forced_pauses": self.pfc_forced,
+            "rows_paused": self.paused_row_count(),
+        }

@@ -1,6 +1,7 @@
 """Topology substrate: graphs, builders (regular, chiplet, random), faults, turn graphs."""
 
 from .chiplet import ChipletSystem, make_chiplet_system, make_dual_chiplet
+from .datacenter import make_fat_tree, make_leaf_spine
 from .dependency import DependencyGraph, build_dependency_graph
 from .graph import Link, Topology
 from .irregular import (
@@ -17,6 +18,8 @@ __all__ = [
     "DependencyGraph",
     "build_dependency_graph",
     "make_mesh",
+    "make_leaf_spine",
+    "make_fat_tree",
     "make_torus",
     "make_ring",
     "node_at",

@@ -1,0 +1,129 @@
+"""Datacenter topology builders: leaf-spine and k-ary fat-tree.
+
+These are the lossless-Ethernet fabrics where PFC pause propagation forms
+cyclic buffer dependencies (CBD).  Both families route minimally *up-down*
+(leaf -> spine -> leaf), which yields an acyclic channel-dependency graph:
+a plain leaf-spine or fat-tree cannot deadlock under the credit-mode
+minimal routing in this repo.  The ``east_west`` option on
+:func:`make_leaf_spine` adds a leaf-to-leaf ring — the inter-leaf shortcut
+links real deployments use — and that ring *is* a cyclic minimal-route
+substrate: with striped uplinks, ring-neighbour traffic has no spine
+detour of equal length, so PFC pause storms (and credit exhaustion) can
+wedge it.  See DESIGN.md "Lossless flow control & pause storms".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .graph import Topology
+
+__all__ = ["make_leaf_spine", "make_fat_tree"]
+
+
+def make_leaf_spine(
+    leaves: int,
+    spines: int,
+    uplinks: Optional[int] = None,
+    east_west: bool = False,
+) -> Topology:
+    """Build a two-tier leaf-spine fabric.
+
+    Nodes ``0..leaves-1`` are leaves, ``leaves..leaves+spines-1`` are
+    spines.  With ``uplinks=None`` every leaf connects to every spine
+    (full bipartite); otherwise leaf *i* connects to the ``uplinks``
+    spines ``(i + j) % spines`` for ``j in range(uplinks)`` — striping
+    keeps the edge count at ``leaves * uplinks`` so thousand-switch
+    fabrics stay affordable.  ``east_west=True`` adds a bidirectional
+    ring over the leaves (requires at least three leaves).
+    """
+    if leaves < 2:
+        raise ValueError("leaf-spine needs at least two leaves")
+    if spines < 1:
+        raise ValueError("leaf-spine needs at least one spine")
+    if uplinks is None:
+        uplinks = spines
+    if not 1 <= uplinks <= spines:
+        raise ValueError(
+            f"uplinks must be between 1 and spines={spines}, got {uplinks}"
+        )
+    if east_west and leaves < 3:
+        raise ValueError("east-west leaf ring needs at least three leaves")
+    edges = set()
+    coordinates: Dict[int, Tuple[int, int]] = {}
+    for leaf in range(leaves):
+        coordinates[leaf] = (leaf, 0)
+        for j in range(uplinks):
+            spine = leaves + (leaf + j) % spines
+            edges.add((leaf, spine))
+    for s in range(spines):
+        coordinates[leaves + s] = (s, 1)
+    if east_west:
+        for leaf in range(leaves):
+            edges.add(tuple(sorted((leaf, (leaf + 1) % leaves))))
+    name = f"leafspine-{leaves}x{spines}"
+    if uplinks != spines:
+        name += f"-u{uplinks}"
+    if east_west:
+        name += "-ew"
+    topo = Topology(leaves + spines, sorted(edges), name=name,
+                    coordinates=coordinates)
+    if not topo.is_connected():
+        raise ValueError(
+            f"leaf-spine {leaves}x{spines} with uplinks={uplinks} is "
+            "disconnected; increase uplinks or add the east-west ring"
+        )
+    return topo
+
+
+def make_fat_tree(pods: int, uplinks: Optional[int] = None) -> Topology:
+    """Build a k-ary fat-tree with ``k = pods`` (k even, >= 2).
+
+    Each pod has ``k/2`` edge switches and ``k/2`` aggregation switches,
+    fully meshed within the pod; aggregation switch *a* of pod *p*
+    connects to the ``uplinks`` cores ``(p + c) % (k/2)`` of core group
+    *a* (groups of ``k/2`` cores, ``uplinks`` defaults to all ``k/2``) —
+    striping by pod keeps every core attached at any uplink count.
+    Total switch count is ``5k^2/4`` (k=4 -> 20, k=16 -> 320,
+    k=32 -> 1280).
+
+    Node layout: edge switches first (pod-major), then aggregation
+    switches (pod-major), then cores.
+    """
+    k = pods
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree pod count must be even and >= 2, got {k}")
+    half = k // 2
+    if uplinks is None:
+        uplinks = half
+    if not 1 <= uplinks <= half:
+        raise ValueError(
+            f"fat-tree uplinks must be between 1 and k/2={half}, got {uplinks}"
+        )
+    num_edge = k * half
+    num_agg = k * half
+    agg_base = num_edge
+    core_base = num_edge + num_agg
+    edges: List[Tuple[int, int]] = []
+    coordinates: Dict[int, Tuple[int, int]] = {}
+    for pod in range(k):
+        for e in range(half):
+            edge_sw = pod * half + e
+            coordinates[edge_sw] = (pod * half + e, 0)
+            for a in range(half):
+                edges.append((edge_sw, agg_base + pod * half + a))
+        for a in range(half):
+            agg_sw = agg_base + pod * half + a
+            coordinates[agg_sw] = (pod * half + a, 1)
+            for c in range(uplinks):
+                edges.append((agg_sw, core_base + a * half + (pod + c) % half))
+    for c in range(half * half):
+        coordinates[core_base + c] = (c, 2)
+    name = f"fattree-k{k}"
+    if uplinks != half:
+        name += f"-u{uplinks}"
+    topo = Topology(core_base + half * half, edges, name=name,
+                    coordinates=coordinates)
+    if not topo.is_connected():
+        raise ValueError(f"fat-tree k={k} with uplinks={uplinks} is disconnected")
+    return topo

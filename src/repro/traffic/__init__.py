@@ -1,5 +1,6 @@
 """Traffic: synthetic patterns, trace record/replay, application workloads."""
 
+from .flows import Flow, FlowTraffic
 from .trace import (
     TraceRecord,
     TraceRecorder,
@@ -43,6 +44,8 @@ __all__ = [
     "Hotspot",
     "SyntheticTraffic",
     "pattern_by_name",
+    "Flow",
+    "FlowTraffic",
     "TraceRecord",
     "TraceRecorder",
     "TraceTraffic",

@@ -26,6 +26,7 @@ def test_examples_exist():
         "wearout_lifetime.py",
         "trace_replay.py",
         "wormhole_truncation.py",
+        "lossless_pfc.py",
     } <= names
 
 

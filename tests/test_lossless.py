@@ -1,0 +1,688 @@
+"""Lossless-fabric robustness: PFC pause/resume, CBD deadlock, ladder.
+
+Covers the datacenter topology builders, the ``PfcConfig`` validation
+surface, :class:`repro.network.PauseResumeFabric` hysteresis and the
+escape-VC pause exemption, the pause-aware deadlock oracle payload,
+pause-storm schedules and their injector pipeline, flow-level traffic,
+the staged :class:`repro.drain.DegradationLadder`, retransmission under
+pause-frozen sources, the ``lossless`` harness runner, and the CLI
+surface (topology specs, ``--pfc``, ``--halt-on-deadlock``).
+"""
+
+import random
+
+import pytest
+
+from repro.cli import main, parse_topology
+from repro.core.config import (
+    DrainConfig,
+    NetworkConfig,
+    PfcConfig,
+    Scheme,
+    SimConfig,
+)
+from repro.core.configio import config_from_dict, config_to_dict
+from repro.core.simulator import Simulation
+from repro.drain import DegradationLadder
+from repro.faults import FaultInjector, PauseStormEvent, PauseStormSchedule
+from repro.harness import execute_trial, lossless_trial
+from repro.network import find_deadlocked_slots
+from repro.network.deadlock import WaitForGraph
+from repro.network.pause import PauseResumeFabric
+from repro.router.packet import MessageClass, Packet
+from repro.topology import make_fat_tree, make_leaf_spine
+from repro.traffic import Flow, FlowTraffic
+
+
+def pfc_config(scheme=Scheme.NONE, pause=2, resume=0, headroom=1, **kwargs):
+    return SimConfig(
+        scheme=scheme,
+        network=NetworkConfig(num_vns=1, vcs_per_vn=4),
+        drain=DrainConfig(epoch=2048),
+        flow_control="pause_resume",
+        pfc=PfcConfig(pause_threshold=pause, resume_threshold=resume,
+                      headroom=headroom),
+        **kwargs,
+    )
+
+
+def ring_flows(rate=0.9, packets=None):
+    return [Flow(i, (i + 2) % 8, rate, packets=packets) for i in range(8)]
+
+
+def build_sim(scheme=Scheme.NONE, flows=None, seed=7, **sim_kwargs):
+    """The pinned CBD scenario: 8x4 leaf-spine with an east-west ring."""
+    topo = make_leaf_spine(8, 4, uplinks=1, east_west=True)
+    traffic = FlowTraffic(flows or ring_flows(), random.Random(seed))
+    return Simulation(topo, pfc_config(scheme), traffic, **sim_kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Topology builders
+# ---------------------------------------------------------------------------
+class TestLeafSpine:
+    def test_full_bipartite_default(self):
+        topo = make_leaf_spine(4, 3)
+        assert topo.num_nodes == 7
+        assert topo.num_edges == 12
+        assert topo.name == "leafspine-4x3"
+        assert topo.is_connected()
+
+    def test_striped_uplinks(self):
+        topo = make_leaf_spine(8, 4, uplinks=2)
+        assert topo.num_edges == 16
+        assert topo.name == "leafspine-8x4-u2"
+        # Leaf 0 stripes onto spines 8 and 9.
+        assert {n for n in topo.neighbors(0)} == {8, 9}
+
+    def test_east_west_ring(self):
+        topo = make_leaf_spine(8, 4, uplinks=1, east_west=True)
+        assert topo.name == "leafspine-8x4-u1-ew"
+        # 8 uplinks + 8 ring edges.
+        assert topo.num_edges == 16
+        assert 1 in topo.neighbors(0) and 7 in topo.neighbors(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least two leaves"):
+            make_leaf_spine(1, 2)
+        with pytest.raises(ValueError, match="at least one spine"):
+            make_leaf_spine(4, 0)
+        with pytest.raises(ValueError, match="uplinks"):
+            make_leaf_spine(4, 2, uplinks=3)
+        with pytest.raises(ValueError, match="at least three leaves"):
+            make_leaf_spine(2, 2, east_west=True)
+
+    def test_disconnected_rejected(self):
+        # 2 leaves striping one uplink each onto different spines.
+        with pytest.raises(ValueError, match="disconnected"):
+            make_leaf_spine(2, 2, uplinks=1)
+
+
+class TestFatTree:
+    def test_k4_shape(self):
+        topo = make_fat_tree(4)
+        assert topo.num_nodes == 20  # 5k^2/4
+        # k*(k/2)^2 edge-agg + k*(k/2)*(k/2) agg-core = 16 + 16.
+        assert topo.num_edges == 32
+        assert topo.name == "fattree-k4"
+        assert topo.is_connected()
+
+    def test_reduced_uplinks(self):
+        topo = make_fat_tree(8, uplinks=2)
+        assert topo.name == "fattree-k8-u2"
+        # k*(k/2)^2 edge-agg + k*(k/2)*uplinks agg-core.
+        assert topo.num_edges == 128 + 64
+        assert topo.is_connected()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="even"):
+            make_fat_tree(3)
+        with pytest.raises(ValueError, match="uplinks"):
+            make_fat_tree(4, uplinks=3)
+        # One uplink splits the pod-core graph into parity classes.
+        with pytest.raises(ValueError, match="disconnected"):
+            make_fat_tree(4, uplinks=1)
+
+
+# ---------------------------------------------------------------------------
+# PfcConfig / SimConfig / configio
+# ---------------------------------------------------------------------------
+class TestPfcConfig:
+    def test_defaults_valid(self):
+        pfc = PfcConfig()
+        assert (pfc.pause_threshold, pfc.resume_threshold, pfc.headroom) == (
+            1, 0, 1)
+
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(pause_threshold=0), "at least 1"),
+        (dict(resume_threshold=-1), "non-negative"),
+        (dict(pause_threshold=2, resume_threshold=2), "strictly below"),
+        (dict(headroom=-1), "non-negative"),
+    ])
+    def test_field_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            PfcConfig(**kwargs)
+
+    def test_simconfig_feasibility(self):
+        with pytest.raises(ValueError, match="exceeds the buffer depth"):
+            pfc_config(pause=4, headroom=1)
+        with pytest.raises(ValueError, match="headroom"):
+            pfc_config(pause=1, headroom=5)
+        # Credit mode never checks PFC feasibility.
+        SimConfig(network=NetworkConfig(num_vns=1, vcs_per_vn=4),
+                  pfc=PfcConfig(pause_threshold=4, headroom=4))
+
+    def test_unknown_flow_control(self):
+        with pytest.raises(ValueError, match="flow_control"):
+            SimConfig(flow_control="wormhole")
+
+    def test_configio_round_trip(self):
+        config = pfc_config(pause=3, resume=1, headroom=1, seed=9)
+        data = config_to_dict(config)
+        assert data["flow_control"] == "pause_resume"
+        assert data["pfc"] == {"pause_threshold": 3, "resume_threshold": 1,
+                               "headroom": 1}
+        assert config_from_dict(data) == config
+
+    def test_configio_default_is_credit(self):
+        data = config_to_dict(SimConfig())
+        del data["flow_control"]
+        assert config_from_dict(data).flow_control == "credit"
+
+    def test_configio_rejects_unknown_pfc_key(self):
+        data = config_to_dict(pfc_config())
+        data["pfc"]["xon_delay"] = 3
+        with pytest.raises(ValueError, match=r"\[pfc\]"):
+            config_from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# PauseResumeFabric
+# ---------------------------------------------------------------------------
+def row_packet(pid, src=0, dst=4):
+    return Packet(pid, src, dst, MessageClass.REQ, gen_cycle=0)
+
+
+class TestPauseResumeFabric:
+    def test_fabric_class_selected_by_config(self):
+        sim = build_sim()
+        assert isinstance(sim.fabric, PauseResumeFabric)
+        credit = Simulation(
+            make_leaf_spine(8, 4, uplinks=1, east_west=True),
+            SimConfig(scheme=Scheme.NONE,
+                      network=NetworkConfig(num_vns=1, vcs_per_vn=4)),
+            FlowTraffic(ring_flows(), random.Random(1)),
+        )
+        assert not isinstance(credit.fabric, PauseResumeFabric)
+
+    def test_hysteresis(self):
+        fabric = build_sim().fabric  # pause=2, resume=0
+        row = 0  # port 0, vn 0
+        fabric._slot_set(0, 0, 0, row_packet(0))
+        assert not fabric._xoff[row]
+        fabric._slot_set(0, 0, 1, row_packet(1))
+        assert fabric._xoff[row] and fabric.pfc_pauses == 1
+        # Occupancy 1 > resume_threshold 0: still XOFF.
+        fabric._slot_set(0, 0, 1, None)
+        assert fabric._xoff[row] and fabric.pfc_resumes == 0
+        fabric._slot_set(0, 0, 0, None)
+        assert not fabric._xoff[row] and fabric.pfc_resumes == 1
+
+    def test_resume_jitter_defers_xon(self):
+        fabric = build_sim().fabric
+        fabric.resume_jitter = 5
+        fabric._slot_set(0, 0, 0, row_packet(0))
+        fabric._slot_set(0, 0, 1, row_packet(1))
+        fabric._slot_set(0, 0, 0, None)
+        fabric._slot_set(0, 0, 1, None)
+        # Row is empty but XON is parked until cycle + jitter.
+        assert fabric._xoff[0] and fabric._pause_until[0] == fabric.cycle + 5
+        fabric.cycle += 5
+        fabric.movement_stage()
+        assert not fabric._xoff[0] and fabric.pfc_resumes == 1
+
+    def test_force_pause_pins_row(self):
+        fabric = build_sim().fabric
+        fabric.force_pause(3, 0, until_cycle=50)
+        assert fabric._xoff[3] and fabric.pfc_forced == 1
+        assert fabric.paused_row_count() == 1
+        assert (3, 0) in fabric.paused_rows()
+        # Empty row stays XOFF until the pin expires.
+        fabric.movement_stage()
+        assert fabric._xoff[3]
+        fabric.cycle = 50
+        fabric.movement_stage()
+        assert not fabric._xoff[3]
+
+    def test_force_pause_rejects_non_link_port(self):
+        fabric = build_sim().fabric
+        with pytest.raises(ValueError, match="link port"):
+            fabric.force_pause(fabric.index.num_links, 0, 10)
+
+    def test_xoff_blocks_allocation_without_escape(self):
+        fabric = build_sim().fabric  # Scheme.NONE: no escape discipline
+        assert not fabric.pause_exempt_escape
+        fabric.force_pause(0, 0, 1000)
+        assert fabric._pick_vc(0, 0, 0, set()) == -1
+        assert fabric.pfc_stalls == 1
+
+    def test_escape_vc_exempt_under_drain(self):
+        fabric = build_sim(scheme=Scheme.DRAIN).fabric
+        assert fabric.pause_exempt_escape
+        fabric.force_pause(0, 0, 1000)
+        # Adaptive-only requests stall; escape-capable ones land on VC 0.
+        assert fabric._pick_vc(0, 0, 3, set()) == -1
+        assert fabric._pick_vc(0, 0, 0, set()) == 0
+        # With VC 0 occupied the exemption has nothing to offer.
+        fabric._slot_set(0, 0, 0, row_packet(0))
+        assert fabric._pick_vc(0, 0, 0, set()) == -1
+
+    def test_pfc_summary_keys(self):
+        summary = build_sim().fabric.pfc_summary()
+        assert set(summary) == {"pauses_asserted", "resumes", "pause_stalls",
+                                "forced_pauses", "rows_paused"}
+
+    def test_scalar_fallback_reason_recorded(self):
+        sim = build_sim()
+        assert sim.fabric.engine_fallback_reason is not None
+
+
+# ---------------------------------------------------------------------------
+# Pause-aware deadlock oracle + payload
+# ---------------------------------------------------------------------------
+class TestPauseDeadlock:
+    def test_pinned_scenario_wedges_and_names_cycle(self):
+        sim = build_sim(halt_on_deadlock=True)
+        sim.run(cycles=20_000)
+        assert sim.deadlocked
+        payload = sim.watchdog.cycle_payload
+        assert payload is not None
+        assert payload["kind"] == "buffer-cycle"
+        assert payload["length"] == len(payload["cycle"]) >= 3
+        assert sorted(set(payload["routers"])) == sorted(payload["routers"])
+        for hop in payload["cycle"]:
+            assert set(hop) == {"router", "port", "vn", "vc", "link",
+                                "packet"}
+            assert set(hop["packet"]) == {"pid", "src", "dst", "msg_class",
+                                          "hops"}
+
+    def test_paused_free_slots_are_not_an_exit(self):
+        # The wedge is *pause-induced*: buffer rows pause at occupancy 2
+        # of 4, so every stuck packet still sees free slots downstream.
+        # The pause-aware oracle must not treat them as exits — and with
+        # the pause model removed the very same state is no deadlock at
+        # all under credit semantics.
+        sim = build_sim(halt_on_deadlock=True)
+        sim.run(cycles=20_000)
+        assert sim.deadlocked
+        graph = WaitForGraph(sim.fabric, assume_ejection_drains=False)
+        stuck = graph.deadlocked()
+        assert stuck
+        assert any(
+            t not in graph.occupant and graph.paused.get((t[0], t[1]))
+            for slot in stuck for t in graph.targets[slot]
+        )
+        graph.paused = None
+        assert graph.deadlocked() == set()
+
+    def test_escape_exemption_mirrored_in_oracle(self):
+        # Flipping the escape exemption on over the wedged state makes
+        # every free escape slot claimable again: the oracle must agree
+        # that the DRAIN escape channel dissolves the pause-induced CBD.
+        sim = build_sim(halt_on_deadlock=True)
+        sim.run(cycles=20_000)
+        assert sim.deadlocked
+        fabric = sim.fabric
+        assert find_deadlocked_slots(fabric, assume_ejection_drains=False)
+        fabric.pause_exempt_escape = True
+        assert not find_deadlocked_slots(fabric,
+                                         assume_ejection_drains=False)
+
+
+# ---------------------------------------------------------------------------
+# Pause-storm schedules + injector pipeline
+# ---------------------------------------------------------------------------
+class TestStormSchedule:
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            PauseStormEvent(0, "flood", (0, 0))
+        with pytest.raises(ValueError, match="cycle 0"):
+            PauseStormEvent(-1, "burst", (0, 1), value=2)
+        with pytest.raises(ValueError, match="duration"):
+            PauseStormEvent(0, "stuck_xoff", (0, 0), duration=0)
+        with pytest.raises(ValueError, match="packet count"):
+            PauseStormEvent(0, "burst", (0, 1), value=0)
+
+    def test_round_trip_and_ordering(self):
+        storm = PauseStormSchedule((
+            PauseStormEvent(50, "burst", (0, 3), value=4),
+            PauseStormEvent(10, "stuck_xoff", (2, 0), duration=100),
+        ), seed=5)
+        assert [e.cycle for e in storm] == [10, 50]
+        assert PauseStormSchedule.from_json(storm.to_json()) == storm
+        assert PauseStormSchedule.from_dict(storm.as_dict()) == storm
+
+    def test_generate_deterministic(self):
+        topo = make_leaf_spine(8, 4, uplinks=1, east_west=True)
+        a = PauseStormSchedule.generate(topo, 12, seed=3, window=(0, 500))
+        b = PauseStormSchedule.generate(topo, 12, seed=3, window=(0, 500))
+        c = PauseStormSchedule.generate(topo, 12, seed=4, window=(0, 500))
+        assert a == b and a != c
+        assert len(a) == 12
+        assert all(0 <= e.cycle < 500 for e in a)
+        num_links = 2 * topo.num_edges
+        for e in a:
+            if e.kind == "stuck_xoff":
+                assert 0 <= e.target[0] < num_links
+            elif e.kind == "burst":
+                assert e.target[0] != e.target[1]
+
+    def test_generate_validation(self):
+        topo = make_leaf_spine(4, 2)
+        with pytest.raises(ValueError, match="window"):
+            PauseStormSchedule.generate(topo, 4, seed=1, window=(5, 5))
+        with pytest.raises(ValueError, match="num_events"):
+            PauseStormSchedule.generate(topo, -1, seed=1, window=(0, 10))
+        with pytest.raises(ValueError, match="fraction"):
+            PauseStormSchedule.generate(topo, 4, seed=1, window=(0, 10),
+                                        stuck_fraction=0.9,
+                                        jitter_fraction=0.9)
+
+
+class TestInjectorStorm:
+    def test_storm_steps_through_injector(self):
+        storm = PauseStormSchedule((
+            PauseStormEvent(5, "stuck_xoff", (0, 0), duration=40),
+            PauseStormEvent(6, "resume_jitter", (0, 0), duration=30,
+                            value=4),
+            PauseStormEvent(8, "burst", (0, 5), value=6),
+        ))
+        sim = build_sim(flows=[Flow(0, 4, 0.0)], pause_storm=storm)
+        assert sim.fault_injector is not None
+        sim.run(cycles=20)
+        assert sim.fault_injector.storm_applied == 3
+        assert sim.fabric.pfc_forced == 1
+        assert sim.traffic.generated >= 6  # the burst packets
+        summary = sim.fault_injector.summary()
+        assert summary["storm_applied"] == 3
+        assert summary["storm_events_remaining"] == 0
+        # Jitter window expires and the fabric setting is restored.
+        sim.run(cycles=60)
+        assert sim.fabric.resume_jitter == 0
+
+    def test_storm_requires_pause_fabric(self):
+        storm = PauseStormSchedule((
+            PauseStormEvent(5, "stuck_xoff", (0, 0), duration=40),
+        ))
+        topo = make_leaf_spine(8, 4, uplinks=1, east_west=True)
+        config = SimConfig(scheme=Scheme.NONE,
+                           network=NetworkConfig(num_vns=1, vcs_per_vn=4))
+        traffic = FlowTraffic(ring_flows(), random.Random(1))
+        with pytest.raises(ValueError, match="pause/resume fabric"):
+            Simulation(topo, config, traffic, pause_storm=storm)
+
+
+# ---------------------------------------------------------------------------
+# Flow-level traffic
+# ---------------------------------------------------------------------------
+class _AcceptAll:
+    def offer_packet(self, packet):
+        return True
+
+
+class TestFlowTraffic:
+    def test_flow_validation(self):
+        with pytest.raises(ValueError, match="differ"):
+            Flow(1, 1, 0.5)
+        with pytest.raises(ValueError, match="rate"):
+            Flow(0, 1, 1.5)
+        with pytest.raises(ValueError, match="at least one packet"):
+            Flow(0, 1, 0.5, packets=0)
+        assert Flow(0, 1, 0.5, packets=3).as_tuple() == (0, 1, 0.5, 3)
+
+    def test_finite_flows_terminate(self):
+        traffic = FlowTraffic([Flow(0, 1, 1.0, packets=2)], random.Random(1))
+        fabric = _AcceptAll()
+        assert not traffic.done()
+        for cycle in range(4):
+            traffic.generate(fabric, cycle)
+        assert traffic.generated == 2
+        assert not traffic.done()  # generated but not yet delivered
+        traffic.delivered = 2
+        assert traffic.done()
+
+    def test_queue_burst(self):
+        traffic = FlowTraffic([Flow(0, 1, 0.0)], random.Random(1))
+        traffic.queue_burst(2, 3, 5, cycle=7)
+        assert traffic.generated == 5
+        assert traffic.backlog_size() == 5
+        with pytest.raises(ValueError, match="differ"):
+            traffic.queue_burst(2, 2, 1, cycle=7)
+
+    def test_idle_generate_replays_draw_order(self):
+        flows = [Flow(0, 4, 0.3), Flow(1, 5, 0.2, packets=3)]
+        live = FlowTraffic(flows, random.Random(42))
+        replay = FlowTraffic(flows, random.Random(42))
+        fabric = _AcceptAll()
+        for cycle in range(200):
+            live.generate(fabric, cycle)
+        consumed = 0
+        while consumed < 200:
+            consumed += replay.idle_generate(fabric, consumed,
+                                             200 - consumed)
+        assert consumed == 200
+        assert replay.generated == live.generated
+        assert replay.rng.random() == live.rng.random()
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder
+# ---------------------------------------------------------------------------
+class TestDegradationLadder:
+    def test_requires_drain_controller(self):
+        with pytest.raises(ValueError, match="scheme=DRAIN"):
+            build_sim(scheme=Scheme.NONE, degradation_ladder=True)
+
+    def test_constructor_validation(self):
+        sim = build_sim(scheme=Scheme.DRAIN)
+        with pytest.raises(ValueError, match="check_interval"):
+            DegradationLadder(sim.fabric, sim.drain_controller,
+                              check_interval=0)
+        with pytest.raises(ValueError, match="retry"):
+            DegradationLadder(sim.fabric, sim.drain_controller,
+                              drain_retries=0)
+
+    def test_ladder_rescues_pinned_scenario(self):
+        sim = build_sim(scheme=Scheme.DRAIN,
+                        flows=ring_flows(packets=50),
+                        degradation_ladder=True)
+        sim.run(cycles=120_000)
+        assert sim.traffic.done()
+        summary = sim.degradation_ladder.summary()
+        assert summary["detections"] >= 1
+        assert summary["forced_drains"] >= 1
+        assert summary["packets_lost_forever"] == 0
+        # The run may end mid-episode (done() halts before the ladder's
+        # confirming re-check), so recoveries only bound detections.
+        assert summary["recoveries"] <= summary["detections"]
+        assert len(summary["recovery_cycles"]) == summary["recoveries"]
+        assert all(c >= 0 for c in summary["recovery_cycles"])
+        payload = summary["deadlock_cycle"]
+        assert payload is not None and payload["kind"] == "buffer-cycle"
+        # Ladder counters never leak into the golden stats dict.
+        assert "forced_drains" not in sim.stats.as_dict()
+
+    def test_next_event_cycle(self):
+        sim = build_sim(scheme=Scheme.DRAIN)
+        ladder = DegradationLadder(sim.fabric, sim.drain_controller,
+                                   check_interval=128)
+        assert ladder.next_event_cycle(0) == 0
+        assert ladder.next_event_cycle(1) == 128
+        assert ladder.next_event_cycle(128) == 128
+        ladder._state = "waiting"
+        ladder._deadline = 500
+        assert ladder.next_event_cycle(130) == 500
+        ladder._retransmit.append((200, 0, 0, row_packet(0)))
+        assert ladder.next_event_cycle(130) == 200
+
+    def test_escalation_backoff_doubles(self):
+        sim = build_sim(scheme=Scheme.DRAIN)
+        ladder = DegradationLadder(sim.fabric, sim.drain_controller,
+                                   check_interval=100)
+        ladder._escalate(1000)
+        assert ladder._deadline == 1100
+        ladder._escalate(1100)
+        assert ladder._deadline == 1300  # 100 << 1
+        assert ladder.forced_drains >= 1
+
+
+class TestRetransmitUnderPause:
+    """Satellite: retransmission backoff when the source NI is frozen."""
+
+    def _frozen_source_sim(self):
+        # Pin every outbound row of node 0 XOFF under Scheme.NONE (no
+        # escape exemption), then saturate its NI queue: offers fail and
+        # retransmissions must back off instead of being lost.
+        sim = build_sim(flows=[Flow(0, 4, 0.0)])
+        fabric = sim.fabric
+        for link in fabric.index.out_links[0]:
+            fabric.force_pause(link, 0, 10_000_000)
+        pid = 100
+        while fabric.offer_packet(row_packet(pid, src=0, dst=4)):
+            pid += 1
+        assert fabric.injection_space(0, 0) == 0
+        return sim
+
+    def test_ladder_pump_backs_off_and_bounds_loss(self):
+        sim = self._frozen_source_sim()
+        drain_sim = build_sim(scheme=Scheme.DRAIN)
+        ladder = DegradationLadder(sim.fabric, drain_sim.drain_controller,
+                                   retransmit_backoff_base=8,
+                                   retransmit_backoff_max=64,
+                                   max_retransmit_attempts=3)
+        packet = row_packet(999, src=0, dst=4)
+        ladder._schedule_retransmit(0, 0, packet)
+        assert ladder._retransmit[0][0] == 8  # base << 0
+        ladder._pump_retransmits(8)
+        # Offer failed: rescheduled with doubled backoff, nothing lost.
+        assert ladder.packets_retransmitted == 0
+        (ready, _, attempt, same) = ladder._retransmit[0]
+        assert (ready, attempt, same) == (8 + 16, 1, packet)
+        ladder._pump_retransmits(24)
+        assert ladder._retransmit[0][0] == 24 + 32
+        ladder._pump_retransmits(56)  # attempt 3 == budget: lost forever
+        assert ladder._retransmit == []
+        assert ladder.packets_lost_forever == 1
+        assert ladder.summary()["pending_retransmits"] == 0
+
+    def test_ladder_backoff_is_capped(self):
+        sim = build_sim(scheme=Scheme.DRAIN)
+        ladder = DegradationLadder(sim.fabric, sim.drain_controller,
+                                   retransmit_backoff_base=8,
+                                   retransmit_backoff_max=64,
+                                   max_retransmit_attempts=8)
+        ladder._schedule_retransmit(0, 6, row_packet(1))
+        assert ladder._retransmit[0][0] == 64  # min(8 << 6, 64)
+
+    def test_injector_pump_backs_off_under_pause(self):
+        sim = self._frozen_source_sim()
+        injector = FaultInjector(sim, backoff_base=4, backoff_max=1024,
+                                 max_retransmit_attempts=2)
+        injector._schedule_retransmit(0, 0, row_packet(999, src=0, dst=4))
+        injector._pump_retransmits(4)
+        assert sim.stats.packets_retransmitted == 0
+        assert injector._retransmit[0][2] == 1  # attempt bumped
+        injector._pump_retransmits(4 + 8)
+        # Attempt budget exhausted: queue drains without a retransmit.
+        assert injector._retransmit == []
+
+    def test_pump_succeeds_once_pause_clears(self):
+        sim = self._frozen_source_sim()
+        fabric = sim.fabric
+        drain_sim = build_sim(scheme=Scheme.DRAIN)
+        ladder = DegradationLadder(fabric, drain_sim.drain_controller)
+        ladder._schedule_retransmit(0, 0, row_packet(999, src=0, dst=4))
+        # Unfreeze: run the sim so the NI queue drains into the fabric.
+        for row in list(fabric._pause_until):
+            fabric._pause_until[row] = 0
+        sim.run(cycles=30)
+        ladder._pump_retransmits(fabric.cycle)
+        assert ladder.packets_retransmitted == 1
+        assert ladder.packets_lost_forever == 0
+
+
+# ---------------------------------------------------------------------------
+# Harness runner
+# ---------------------------------------------------------------------------
+class TestLosslessTrial:
+    def _spec(self, **kwargs):
+        topo = make_leaf_spine(8, 4, uplinks=1, east_west=True)
+        return lossless_trial(topo, pfc_config(), ring_flows(), cycles=20_000,
+                              **kwargs)
+
+    def test_digest_stable_and_param_sensitive(self):
+        assert self._spec().digest() == self._spec().digest()
+        assert (self._spec().digest()
+                != self._spec(halt_on_deadlock=True).digest())
+
+    def test_none_row_reports_deadlock(self):
+        result = execute_trial(self._spec(halt_on_deadlock=True))
+        assert result["deadlocked"] and not result["finished"]
+        assert result["deadlock_cycle"]["kind"] == "buffer-cycle"
+        assert result["recovery_ratio"] < 1.0
+        assert set(result["pfc"]) >= {"pauses_asserted", "pause_stalls"}
+
+    def test_drain_row_recovers(self):
+        topo = make_leaf_spine(8, 4, uplinks=1, east_west=True)
+        spec = lossless_trial(topo, pfc_config(scheme=Scheme.DRAIN),
+                              ring_flows(packets=20), cycles=120_000,
+                              degradation_ladder=True)
+        result = execute_trial(spec)
+        assert result["finished"] and not result["deadlocked"]
+        assert result["recovery_ratio"] == 1.0
+        assert result["lost_forever"] == 0
+        assert result["ladder"]["forced_drains"] >= 1
+
+    def test_storm_round_trips_through_params(self):
+        storm = PauseStormSchedule((
+            PauseStormEvent(5, "stuck_xoff", (0, 0), duration=40),
+        ), seed=2)
+        topo = make_leaf_spine(8, 4, uplinks=1, east_west=True)
+        spec = lossless_trial(topo, pfc_config(),
+                              [Flow(0, 4, 0.05, packets=5)], cycles=2_000,
+                              storm=storm.as_dict())
+        result = execute_trial(spec)
+        assert result["storm_applied"] == 1
+        assert result["pfc"]["forced_pauses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+class TestCliLossless:
+    def test_parse_leafspine(self):
+        assert parse_topology("leafspine:8x4").num_nodes == 12
+        topo = parse_topology("leafspine:8x4u1ew")
+        assert topo.name == "leafspine-8x4-u1-ew"
+        assert parse_topology("leafspine:8x4u2").num_edges == 16
+
+    def test_parse_fattree(self):
+        assert parse_topology("fattree:4").num_nodes == 20
+        assert parse_topology("fattree:8u2").name == "fattree-k8-u2"
+
+    def test_parse_errors(self):
+        for spec in ("leafspine:8", "leafspine:abc", "fattree:x",
+                     "leafspine:8x4uXew"):
+            with pytest.raises(ValueError, match="bad spec"):
+                parse_topology(spec)
+
+    def test_run_pfc_halts_with_cycle(self, capsys):
+        rc = main(["run", "--topology", "leafspine:8x4u1ew",
+                   "--scheme", "none", "--pfc", "--pause-threshold", "1",
+                   "--resume-threshold", "0", "--rate", "0.5",
+                   "--cycles", "20000", "--halt-on-deadlock", "--seed", "3"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "pfc:" in captured.out
+        err = captured.err.strip().splitlines()
+        assert len(err) == 1
+        assert err[0].startswith("error: deadlock detected at cycle")
+        assert "buffer-cycle" in err[0]
+
+    def test_run_rejects_infeasible_pfc(self, capsys):
+        rc = main(["run", "--topology", "leafspine:4x2", "--pfc",
+                   "--pause-threshold", "9", "--cycles", "100"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "exceeds the buffer depth" in err
+
+    def test_run_pfc_completes_without_halt(self, capsys):
+        rc = main(["run", "--topology", "leafspine:4x4", "--pfc",
+                   "--pause-threshold", "1", "--cycles", "2000",
+                   "--rate", "0.05", "--seed", "2"])
+        assert rc == 0
+        assert "pfc:" in capsys.readouterr().out
+
+    def test_experiment_registered(self):
+        from repro.cli import EXPERIMENTS
+        assert "lossless-pfc" in EXPERIMENTS
