@@ -1,7 +1,7 @@
 """Static analysis of DRAIN configurations (`repro.analysis`).
 
-Two engines, both pure functions of their inputs (no simulation, no
-wall-clock, no global state):
+Three engines, all pure functions of their inputs (no simulation state,
+no wall-clock, no global state):
 
 - :mod:`repro.analysis.certifier` — a configuration certifier. Given a
   topology, a routing function and/or a drain-path set (optionally after
@@ -11,13 +11,26 @@ wall-clock, no global state):
   certifier.Certificate`: ``CERTIFIED`` with a coverage/acyclicity proof
   object, or ``REFUTED`` with a concrete counterexample (the offending
   turn-cycle, or the uncovered-link set in
-  :class:`~repro.drain.path.DrainPathError` payload form).
+  :class:`~repro.drain.path.DrainPathError` payload form). For lossless
+  fabrics (``flow_control="pause_resume"``) the pause-aware entry point
+  :func:`~repro.analysis.certifier.certify_pause_configuration` builds
+  the pause-augmented buffer-dependency graph instead, models the
+  escape-VC pause exemption and PFC headroom feasibility, and refutes
+  with a minimal buffer cycle in the watchdog halt-payload shape.
 
 - :mod:`repro.analysis.lint` — an AST-based determinism lint pass that
   statically enforces the project's reproducibility invariants over
   ``src/``: no unsalted ``hash()``, no module-level ``random`` state, no
   wall-clock reads in trial code, no non-picklable ``TrialSpec`` params,
-  no golden-summary shape mutation, no mutable default arguments.
+  no golden-summary shape mutation, no mutable default arguments — plus
+  the engine-parity family (DET007–DET010) guarding the scalar/vectorized
+  draw-order contract in kernel code.
+
+- :mod:`repro.analysis.differential` — differential validation closing
+  the loop between the certifier and the simulator: static refutations
+  must match live watchdog wedges up to rotation (plain equality after
+  canonicalisation), and certified configurations must survive seeded
+  pause-storm sweeps without a watchdog halt.
 
 The certifier also backs the harness's opt-out pre-flight gate
 (:mod:`repro.analysis.preflight`): every :class:`~repro.harness.trials.
@@ -32,15 +45,24 @@ from .certifier import (
     REFUTED,
     ROUTING_NAMES,
     Certificate,
+    build_pause_bdg,
     build_restricted_cdg,
+    canonical_rotation,
     certify_configuration,
     certify_drain_cover,
+    certify_pause_configuration,
     certify_routing,
     find_turn_cycle,
+    minimal_cycles,
     routing_for,
     topological_link_order,
 )
-from .lint import LintFinding, lint_file, lint_paths, lint_source
+from .differential import (
+    canonical_cycle_links,
+    refutation_matches,
+    storm_survival_sweep,
+)
+from .lint import LintFinding, is_kernel_path, lint_file, lint_paths, lint_source
 from .preflight import PreflightError, validate_spec
 
 __all__ = [
@@ -50,15 +72,23 @@ __all__ = [
     "LintFinding",
     "PreflightError",
     "ROUTING_NAMES",
+    "build_pause_bdg",
     "build_restricted_cdg",
+    "canonical_cycle_links",
+    "canonical_rotation",
     "certify_configuration",
     "certify_drain_cover",
+    "certify_pause_configuration",
     "certify_routing",
     "find_turn_cycle",
+    "is_kernel_path",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "minimal_cycles",
+    "refutation_matches",
     "routing_for",
+    "storm_survival_sweep",
     "topological_link_order",
     "validate_spec",
 ]

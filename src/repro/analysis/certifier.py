@@ -30,6 +30,26 @@ the arrival phase is derived from the link class, so illegal down->up
 turns never appear. Where holding-state reachability is approximated, the
 approximation only *adds* edges — extra edges can produce a spurious
 refutation but never a spurious certificate, keeping ``CERTIFIED`` sound.
+
+**Pause-aware mode** (:func:`certify_pause_configuration`) extends the
+same machinery to ``flow_control="pause_resume"``. Under PFC the blocking
+unit is a whole buffer *row* — the ``vcs_per_vn`` slots of one (link
+port, VN) pair: a row at its pause threshold asserts XOFF and stalls
+*every* packet class sharing that port, not only the turn whose packets
+filled it. Per-class escape disciplines therefore cannot break a
+dependency the turn relation allows, and the buffer-dependency graph
+(BDG) collapses onto link granularity: the pause-augmented BDG is the
+turn-edge graph over the *full* candidate relation, optionally restricted
+to a concrete flow set's reachable holding states. Two escape facts are
+modelled explicitly: headroom feasibility (``pause_threshold + headroom
+<= vcs_per_vn``, or the configuration cannot stay lossless at all), and
+the escape-VC pause exemption (the pause fabric lets escape/VC0 claims
+bypass XOFF whenever an escape mode is active), which restores the
+credit-mode arguments for the drain and escape-VC schemes. Refutations
+are emitted as a minimal *buffer cycle* in the exact payload shape the
+runtime watchdog halt already uses, canonicalised to the
+lexicographically-minimal rotation so differential comparison against a
+live wedge is a plain equality check on the ``links`` field.
 """
 
 from __future__ import annotations
@@ -38,7 +58,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..core.config import Scheme
+from ..core.config import PfcConfig, Scheme
 from ..drain.path import (
     DrainPath,
     DrainPathError,
@@ -59,11 +79,15 @@ __all__ = [
     "ROUTING_NAMES",
     "routing_for",
     "build_restricted_cdg",
+    "build_pause_bdg",
     "topological_link_order",
     "find_turn_cycle",
+    "canonical_rotation",
+    "minimal_cycles",
     "certify_routing",
     "certify_drain_cover",
     "certify_configuration",
+    "certify_pause_configuration",
     "apply_schedule",
 ]
 
@@ -131,6 +155,14 @@ class Certificate:
         if kind == "turn-cycle":
             cycle = " -> ".join(counter.get("links", []))
             return f"{head}: turn-cycle of length {counter.get('length')}: {cycle}"
+        if kind == "buffer-cycle":
+            cycle = " -> ".join(
+                f"{a}->{b}" for a, b in counter.get("links", [])
+            )
+            return (
+                f"{head}: buffer-cycle of length {counter.get('length')}: "
+                f"{cycle}"
+            )
         if kind == "uncovered-links":
             return (
                 f"{head}: missing={counter.get('missing')} "
@@ -636,6 +668,454 @@ def _escape_routing_name(topology: Topology) -> str:
     except ValueError:
         return "updown"
     return "dor"
+
+
+# ----------------------------------------------------------------------
+# Pause-aware certification (flow_control="pause_resume")
+# ----------------------------------------------------------------------
+def _min_rotation_offset(items: Sequence[Any]) -> int:
+    """Offset of the lexicographically-minimal rotation of *items*."""
+    n = len(items)
+    best = 0
+    for offset in range(1, n):
+        for j in range(n):
+            a = items[(offset + j) % n]
+            b = items[(best + j) % n]
+            if a != b:
+                if a < b:
+                    best = offset
+                break
+    return best
+
+
+def canonical_rotation(cycle: Sequence[Any]) -> List[Any]:
+    """The lexicographically-minimal rotation of *cycle*.
+
+    The canonical representative of a cyclic sequence: two rotations of
+    the same cycle map to the same output, so rotational equivalence (the
+    one degree of freedom a deadlock cycle has) becomes plain equality.
+    """
+    items = list(cycle)
+    if len(items) < 2:
+        return items
+    offset = _min_rotation_offset(items)
+    return items[offset:] + items[:offset]
+
+
+def minimal_cycles(
+    adjacency: Sequence[Sequence[int]],
+) -> List[List[int]]:
+    """Distinct minimal-length cycles of the graph, canonicalised.
+
+    Runs the shortest-cycle BFS from every node, keeps every cycle of the
+    globally minimal length, collapses rotationally-equivalent duplicates
+    via :func:`canonical_rotation`, and returns them sorted — element 0 is
+    *the* canonical minimal counterexample. Empty when the graph is
+    acyclic.
+    """
+    n = len(adjacency)
+    best_len: Optional[int] = None
+    found: List[List[int]] = []
+    for start in range(n):
+        parent: Dict[int, int] = {}
+        depth = {start: 0}
+        frontier = [start]
+        cycle: Optional[List[int]] = None
+        while frontier and cycle is None:
+            next_frontier: List[int] = []
+            for node in frontier:
+                if best_len is not None and depth[node] + 1 > best_len:
+                    continue  # longer than the incumbent: not minimal
+                for m in adjacency[node]:
+                    if m == start:
+                        path = [node]
+                        while path[-1] != start:
+                            path.append(parent[path[-1]])
+                        path.reverse()
+                        cycle = path
+                        break
+                    if m not in depth:
+                        depth[m] = depth[node] + 1
+                        parent[m] = node
+                        next_frontier.append(m)
+                if cycle is not None:
+                    break
+            frontier = next_frontier
+        if cycle is None:
+            continue
+        if best_len is None or len(cycle) < best_len:
+            best_len = len(cycle)
+            found = [cycle]
+        elif len(cycle) == best_len:
+            found.append(cycle)
+    unique = sorted({tuple(canonical_rotation(c)) for c in found})
+    return [list(c) for c in unique]
+
+
+def build_pause_bdg(
+    index: FabricIndex,
+    routing: RoutingFunction,
+    flows: Optional[Sequence[Tuple[int, int]]] = None,
+) -> List[List[int]]:
+    """Pause-augmented buffer-dependency adjacency over link rows.
+
+    Under pause/resume flow control a full (link port, VN) row asserts
+    XOFF and blocks **every** packet class sharing that port — per-class
+    VC separation cannot break a dependency the turn relation allows, so
+    the buffer-dependency graph collapses onto link granularity: edge
+    ``l -> m`` whenever a tracked packet can hold ``l`` while its
+    candidates at ``l.dst`` include ``m``. *flows* (``(src, dst)`` pairs)
+    restricts holding states to links reachable by packets those flows
+    actually inject (packets inject in the up phase); ``None`` models
+    all-pairs traffic, which reduces to the same reachable-turn relation
+    as :func:`build_restricted_cdg`. The reachability approximation only
+    *adds* edges relative to true holding states, keeping ``CERTIFIED``
+    sound.
+    """
+    n = index.num_nodes
+    num_links = index.num_links
+
+    def alive(link: int) -> bool:
+        return (
+            link not in index.dead_links
+            and index.link_src[link] not in index.dead_routers
+            and index.link_dst[link] not in index.dead_routers
+        )
+
+    sources_by_dst: Dict[int, Optional[set]]
+    if flows is None:
+        sources_by_dst = {dst: None for dst in range(n)}
+    else:
+        sources_by_dst = {}
+        for src, dst in flows:
+            sources_by_dst.setdefault(dst, set()).add(src)
+
+    successors: List[set] = [set() for _ in range(num_links)]
+    for dst in sorted(sources_by_dst):
+        if dst in index.dead_routers:
+            continue
+        sources = sources_by_dst[dst]
+        cand: Dict[Tuple[int, bool], Tuple[int, ...]] = {}
+
+        def candidates(router: int, phase: bool) -> Tuple[int, ...]:
+            key = (router, phase)
+            got = cand.get(key)
+            if got is None:
+                got = cand[key] = tuple(
+                    routing.route_candidates(router, dst, up_phase=phase)
+                )
+            return got
+
+        # BFS over (link, arrival-phase) holding states reachable from the
+        # flow's injection points.
+        seen: set = set()
+        stack: List[Tuple[int, bool]] = []
+        for src in sorted(range(n) if sources is None else sources):
+            if src == dst or src in index.dead_routers:
+                continue
+            for link in candidates(src, True):
+                if not alive(link):
+                    continue
+                state = (link, routing.arrival_phase(link, True))
+                if state not in seen:
+                    seen.add(state)
+                    stack.append(state)
+        while stack:
+            link, phase = stack.pop()
+            mid = index.link_dst[link]
+            if mid == dst:
+                continue  # the packet ejects; it requests no further turn
+            for m in candidates(mid, phase):
+                if not alive(m):
+                    continue
+                successors[link].add(m)
+                state = (m, routing.arrival_phase(m, phase))
+                if state not in seen:
+                    seen.add(state)
+                    stack.append(state)
+    return [sorted(s) for s in successors]
+
+
+def _buffer_cycle_counterexample(
+    index: FabricIndex,
+    cycle: Sequence[int],
+    vn: int,
+    node_labels: Optional[Sequence[int]] = None,
+    distinct: int = 1,
+) -> Dict[str, Any]:
+    """A static buffer cycle in the watchdog halt-payload shape.
+
+    Hops carry ``vc=None`` and ``packet=None`` — the static claim is about
+    buffer rows, not concrete occupants — but the ``kind`` / ``length`` /
+    ``routers`` / ``links`` / ``cycle`` structure matches
+    :func:`repro.network.deadlock.deadlock_cycle_payload` exactly, and the
+    ``links`` field is the canonical (lexicographically-minimal) rotation,
+    so a dynamic wedge and its static refutation compare equal directly.
+    ``distinct_minimal_cycles`` annotates how many rotationally-distinct
+    minimal cycles the graph contains (duplicates are already collapsed).
+    """
+    def nid(router: int) -> int:
+        return router if node_labels is None else node_labels[router]
+
+    pairs = [
+        [nid(index.link_src[link]), nid(index.link_dst[link])]
+        for link in cycle
+    ]
+    # Canonicalise in the emitted (possibly relabelled) pair space.
+    offset = _min_rotation_offset(pairs) if len(pairs) > 1 else 0
+    pairs = pairs[offset:] + pairs[:offset]
+    local = list(cycle[offset:]) + list(cycle[:offset])
+    hops: List[Dict[str, Any]] = []
+    routers: List[int] = []
+    for link, pair in zip(local, pairs):
+        router = pair[1]  # the input buffer row lives at the link's dst
+        if router not in routers:
+            routers.append(router)
+        hops.append({
+            "router": router,
+            # Port ids only exist in the full fabric numbering; a
+            # renumbered component has no meaningful port to name.
+            "port": link if node_labels is None else None,
+            "vn": vn,
+            "vc": None,
+            "link": list(pair),
+            "packet": None,
+        })
+    return {
+        "kind": "buffer-cycle",
+        "length": len(hops),
+        "routers": routers,
+        "links": [list(pair) for pair in pairs],
+        "cycle": hops,
+        "distinct_minimal_cycles": distinct,
+    }
+
+
+def _certify_pause_bdg(
+    topology: Topology,
+    routing_name: str,
+    flows: Optional[Sequence[Tuple[int, int]]],
+    vn: int,
+    subject: Mapping[str, Any],
+    pause_model: Mapping[str, Any],
+    node_labels: Optional[Sequence[int]] = None,
+) -> Certificate:
+    """Certify acyclicity of one component's pause-augmented BDG."""
+    index = FabricIndex(topology)
+    routing = routing_for(routing_name, index)
+    adjacency = build_pause_bdg(index, routing, flows)
+    pause_edges = sum(len(s) for s in adjacency)
+    subject = dict(subject)
+    subject.update({"routing": routing_name, "pause_edges": pause_edges})
+
+    def label(link: Link) -> str:
+        if node_labels is None:
+            return _link_label(link)
+        return f"{node_labels[link.src]}->{node_labels[link.dst]}"
+
+    order = topological_link_order(adjacency)
+    if order is not None:
+        links = index.links
+        proof = {
+            "method": "pause-augmented-topological-link-order",
+            "links": len(links),
+            "pause_edges": pause_edges,
+            "pfc": dict(pause_model),
+            # The order is the checkable proof: every pause-augmented
+            # buffer dependency goes strictly forward in it.
+            "link_order": [label(links[i]) for i in order],
+        }
+        return Certificate(CERTIFIED, subject, proof=proof)
+    cycles = minimal_cycles(adjacency)
+    assert cycles  # Kahn failed, so a cycle must exist
+    counter = _buffer_cycle_counterexample(
+        index, cycles[0], vn, node_labels=node_labels, distinct=len(cycles)
+    )
+    return Certificate(REFUTED, subject, counterexample=counter)
+
+
+def certify_pause_configuration(
+    topology: Topology,
+    scheme: Union[Scheme, str] = Scheme.NONE,
+    pfc: Optional[PfcConfig] = None,
+    vcs_per_vn: int = 2,
+    num_vns: int = 1,
+    flows: Optional[Sequence[Tuple[int, int]]] = None,
+    routing: Optional[str] = None,
+    schedule=None,
+    method: str = "euler",
+    max_circuits: Optional[int] = None,
+    vn: int = 0,
+) -> Certificate:
+    """Certify one lossless (``flow_control="pause_resume"``) config.
+
+    Infeasible :class:`~repro.core.config.PfcConfig` rows (thresholds
+    that do not fit the ``vcs_per_vn`` row depth) raise ``ValueError``
+    with the shared feasibility detail — such a configuration cannot even
+    stay lossless, so there is nothing to certify. Feasible ones are
+    decided per scheme:
+
+    - ``drain``: the escape-VC pause exemption lets drain rotations
+      bypass XOFF, so the credit-mode drain-cover account carries over —
+      ``CERTIFIED`` with the cover plus an exemption account, or
+      ``REFUTED`` with the cover defect;
+    - ``escape_vc``: the exemption keeps the escape sub-network credit-
+      behaved — ``CERTIFIED`` iff its restricted CDG is acyclic;
+    - ``updown`` (or an explicit *routing* name): no exemption applies —
+      ``CERTIFIED`` iff the pause-augmented BDG over that routing
+      relation, restricted to *flows*, is acyclic;
+    - everything else (``none``/``spin``/``static_bubble``/``ideal``):
+      the pause-augmented BDG over the fully-adaptive relation — expected
+      ``REFUTED``, with the minimal CBD buffer cycle (canonical rotation,
+      watchdog payload shape) as the counterexample.
+
+    *flows* restricts the BDG to the holding states a concrete flow set
+    can reach (the harness's lossless trials pin exactly such sets);
+    *vn* only labels the emitted counterexample rows — the dependency
+    relation is identical across VNs.
+    """
+    scheme = Scheme(scheme)
+    pfc = PfcConfig() if pfc is None else pfc
+    if vcs_per_vn < 1:
+        raise ValueError("vcs_per_vn must be at least 1")
+    if num_vns < 1:
+        raise ValueError("num_vns must be at least 1")
+    if not 0 <= vn < num_vns:
+        raise ValueError(f"vn {vn} outside 0..{num_vns - 1}")
+    err = pfc.feasibility_error(vcs_per_vn)
+    if err is not None:
+        raise ValueError(err)
+
+    survivor = apply_schedule(topology, schedule) if schedule else topology
+    fault_extra: Dict[str, Any] = {}
+    if schedule is not None:
+        fault_extra["faults_applied"] = len(schedule.permanent_events())
+
+    flow_list: Optional[List[Tuple[int, int]]] = None
+    if flows is not None:
+        flow_list = sorted({(int(s), int(d)) for s, d in flows})
+        for s, d in flow_list:
+            if not (0 <= s < survivor.num_nodes
+                    and 0 <= d < survivor.num_nodes):
+                raise ValueError(
+                    f"flow ({s}, {d}) names a router outside the topology"
+                )
+            if s == d:
+                raise ValueError(f"flow ({s}, {d}) has identical endpoints")
+
+    exempt = routing is None and scheme in (Scheme.DRAIN, Scheme.ESCAPE_VC)
+    pause_model = {
+        "pause_threshold": pfc.pause_threshold,
+        "resume_threshold": pfc.resume_threshold,
+        "headroom": pfc.headroom,
+        "row_depth": vcs_per_vn,
+        "rows": 2 * survivor.num_edges * num_vns,
+        "exempt_escape_vc": exempt,
+    }
+    subject = _topology_subject(survivor)
+    subject.update({
+        "claim": "pause-deadlock-freedom",
+        "scheme": scheme.value,
+        "flow_control": "pause_resume",
+        "flows": "all-pairs" if flow_list is None else len(flow_list),
+        "vn": vn,
+        "pfc": dict(pause_model),
+        **fault_extra,
+    })
+
+    if routing is None and scheme is Scheme.DRAIN:
+        inner = certify_configuration(
+            survivor, Scheme.DRAIN, method=method, max_circuits=max_circuits
+        )
+        if inner.certified:
+            proof = {
+                "method": "pause-exempt-drain-cover",
+                "pfc": dict(pause_model),
+                "exemption": {
+                    "escape_vc": 0,
+                    "pause_exempt_escape": True,
+                    "account": (
+                        "escape (VC0) claims bypass XOFF, so drain "
+                        "rotations proceed regardless of pause state; the "
+                        "drain cover then guarantees eventual progress "
+                        "exactly as in credit mode"
+                    ),
+                },
+                "drain": dict(inner.proof or {}),
+            }
+            subject["cycles"] = inner.subject.get("cycles")
+            return Certificate(CERTIFIED, subject, proof=proof)
+        return Certificate(
+            REFUTED, subject,
+            counterexample=dict(inner.counterexample or {}),
+        )
+
+    if routing is None and scheme is Scheme.ESCAPE_VC:
+        inner = certify_configuration(survivor, Scheme.ESCAPE_VC)
+        if inner.certified:
+            proof = {
+                "method": "pause-exempt-escape-acyclicity",
+                "pfc": dict(pause_model),
+                "exemption": {
+                    "escape_vc": 0,
+                    "pause_exempt_escape": True,
+                    "account": (
+                        "escape (VC0) claims bypass XOFF, so the escape "
+                        "sub-network keeps its credit-mode behaviour; its "
+                        "acyclic dependency graph guarantees every escape "
+                        "packet progresses, and adaptive packets always "
+                        "hold an escape candidate"
+                    ),
+                },
+                "escape": dict(inner.proof or {}),
+            }
+            return Certificate(CERTIFIED, subject, proof=proof)
+        return Certificate(
+            REFUTED, subject,
+            counterexample=dict(inner.counterexample or {}),
+        )
+
+    if routing is None:
+        routing = "updown" if scheme is Scheme.UPDOWN else "adaptive"
+    components = _component_members(survivor)
+    if not components:
+        return Certificate(
+            REFUTED, subject,
+            counterexample={"kind": "no-links", "links": 0},
+        )
+    if len(components) == 1 and len(components[0]) == survivor.num_nodes:
+        return _certify_pause_bdg(
+            survivor, routing, flow_list, vn, subject, pause_model
+        )
+    roots: List[int] = []
+    for members in components:
+        comp = _component_compact(survivor, members)
+        comp_flows: Optional[List[Tuple[int, int]]] = None
+        if flow_list is not None:
+            member_set = set(members)
+            renumber = {orig: i for i, orig in enumerate(members)}
+            # Flows crossing components can never be routed, so they
+            # occupy no network buffer and add no dependency.
+            comp_flows = [
+                (renumber[s], renumber[d]) for s, d in flow_list
+                if s in member_set and d in member_set
+            ]
+        cert = _certify_pause_bdg(
+            comp, routing, comp_flows, vn, subject, pause_model,
+            node_labels=members,
+        )
+        if not cert.certified:
+            return cert
+        roots.append(members[0])
+    subject = dict(subject)
+    subject.update({"routing": routing, "components": len(components)})
+    proof = {
+        "method": "per-component-pause-augmented-link-order",
+        "components": len(components),
+        "component_roots": roots,
+        "pfc": dict(pause_model),
+    }
+    return Certificate(CERTIFIED, subject, proof=proof)
 
 
 def _construct_drain_cover(

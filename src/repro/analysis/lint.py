@@ -29,6 +29,35 @@ actually corrupted a result cache or broken a golden summary somewhere:
   default bleeds state across calls — classic, and it has non-obvious
   interactions with result caching.
 
+The **engine-parity family** (DET007–DET009) guards the scalar/vectorized
+draw-order contract: all movement engines must be bit-identical, which
+constrains how kernel code (everything under ``repro/network`` — see
+:func:`is_kernel_path`) may consume randomness and shared state:
+
+- **DET007** — RNG draw-method calls (``.random()``/``.randrange()``/
+  ``.shuffle()``/…) inside a kernel loop. Engines share one inline LCG
+  stream (``fabric._lcg``); an ad-hoc draw inside a movement loop
+  desynchronises the streams between engines even when each engine is
+  individually deterministic.
+- **DET008** — mutation of exported :class:`~repro.network.index.
+  DenseCandidateTables` (writes to their ``offsets``/``counts``/
+  ``links``/``epoch``). The tables are shared between engines and the
+  routing function; an in-place write silently desynchronises them
+  (the arrays are also frozen at runtime — this catches it at review
+  time).
+- **DET009** — iteration over an unordered set (set literals/
+  comprehensions, ``set()``/``frozenset()`` results, and the index's
+  ``dead_links``/``dead_routers``) in kernel code. Set order is hash-
+  dependent; iterate ``sorted(...)`` instead. Plain dicts iterate in
+  insertion order (guaranteed since 3.7) and are not flagged.
+
+- **DET010** — wall-clock readers imported by name (``from time import
+  perf_counter``) anywhere outside the bench/harness allowlist sentinel
+  (:data:`WALL_CLOCK_ALLOWED`). A from-import binds the reader to a bare
+  name, which evades DET003's attribute-based detection; import the
+  module and read through it (so DET003 can see the call), or move the
+  timing into an allowlisted boundary file.
+
 A finding on a line ending with the pragma comment ``# det: allow`` is
 suppressed; the pragma documents an audited exception in place.
 """
@@ -40,7 +69,14 @@ import os
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Set, Tuple
 
-__all__ = ["LintFinding", "WALL_CLOCK_ALLOWED", "lint_file", "lint_paths", "lint_source"]
+__all__ = [
+    "LintFinding",
+    "WALL_CLOCK_ALLOWED",
+    "is_kernel_path",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
 
 #: Files (matched by trailing path components) allowed to read the wall
 #: clock: harness bookkeeping that timestamps journals and manifests for
@@ -56,6 +92,40 @@ WALL_CLOCK_ALLOWED: Tuple[str, ...] = (
 
 #: Pragma suppressing any finding on its line.
 PRAGMA = "# det: allow"
+
+
+def is_kernel_path(path: str) -> bool:
+    """True when *path* is movement-kernel code (under ``repro/network``).
+
+    The engine-parity rules DET007–DET009 apply only here: kernel code is
+    where the scalar and vectorized engines must replay each other's draw
+    order and state reads bit-for-bit.
+    """
+    parts = path.replace(os.sep, "/").split("/")
+    return "network" in parts[:-1]
+
+
+#: RNG draw methods whose call order is part of the engine contract.
+_RNG_DRAW_METHODS: Set[str] = {
+    "random", "randrange", "randint", "choice", "choices", "shuffle",
+    "sample", "uniform", "getrandbits", "gauss", "normalvariate",
+    "betavariate", "expovariate", "triangular",
+}
+
+#: Attributes of exported DenseCandidateTables that must never be
+#: written after construction (the arrays are frozen at runtime too).
+_TABLES_FIELDS: Tuple[str, ...] = ("offsets", "counts", "links", "epoch")
+
+#: FabricIndex attributes that are genuine unordered sets; iterating
+#: them directly in kernel code is hash-order dependent.
+_UNORDERED_INDEX_ATTRS: Tuple[str, ...] = ("dead_links", "dead_routers")
+
+#: ``time``-module functions that read the wall clock; importing one by
+#: name binds it to a bare identifier DET003 cannot see.
+_WALL_CLOCK_FROM_IMPORTS: Set[str] = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+}
 
 _WALL_CLOCK_CALLS: Set[Tuple[str, str]] = {
     ("time", "time"),
@@ -108,10 +178,17 @@ class _Visitor(ast.NodeVisitor):
         self.wall_clock_ok = any(
             path.replace(os.sep, "/").endswith(suffix) for suffix in WALL_CLOCK_ALLOWED
         )
+        self.kernel = is_kernel_path(path)
+        #: Nesting depth of for/while loops (kernel rules key off it).
+        self.loop_depth = 0
         #: Variable names assigned from an ``as_dict()`` call in the current
         #: scope stack (tracked flat — shadowing across scopes is rare enough
         #: that a false positive there is acceptable and pragma-escapable).
         self.as_dict_vars: Set[str] = set()
+        #: Names bound to exported DenseCandidateTables instances.
+        self.tables_vars: Set[str] = set()
+        #: Names bound to set()/frozenset()/set-literal values.
+        self.set_vars: Set[str] = set()
 
     # -- reporting ------------------------------------------------------
     def report(self, node: ast.AST, code: str, message: str) -> None:
@@ -181,6 +258,19 @@ class _Visitor(ast.NodeVisitor):
                         f"mutating golden-summary dict {func.value.id!r} "
                         "(.pop() on an as_dict() result); copy before reshaping",
                     )
+            if (
+                self.kernel
+                and self.loop_depth > 0
+                and func.attr in _RNG_DRAW_METHODS
+                and not isinstance(func.value, ast.Constant)
+            ):
+                self.report(
+                    node,
+                    "DET007",
+                    f"RNG draw .{func.attr}() inside a kernel loop; engines "
+                    "must consume the shared fabric LCG stream so "
+                    "scalar/vectorized draw order stays bit-identical",
+                )
         if isinstance(func, ast.Name) and func.id == "TrialSpec":
             self._check_spec_params(node)
         self.generic_visit(node)
@@ -205,7 +295,7 @@ class _Visitor(ast.NodeVisitor):
                     "round-trip through canonical JSON to digest stably",
                 )
 
-    # -- DET005 support: track `x = something.as_dict()` ----------------
+    # -- DET005/DET008/DET009 support: track value provenance ------------
     def visit_Assign(self, node: ast.Assign) -> None:
         value = node.value
         is_as_dict = (
@@ -213,12 +303,123 @@ class _Visitor(ast.NodeVisitor):
             and isinstance(value.func, ast.Attribute)
             and value.func.attr == "as_dict"
         )
+        is_tables = isinstance(value, ast.Call) and (
+            (isinstance(value.func, ast.Name)
+             and value.func.id == "DenseCandidateTables")
+            or (isinstance(value.func, ast.Attribute)
+                and value.func.attr == "export_tables")
+        )
+        is_set = isinstance(value, (ast.Set, ast.SetComp)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset")
+        )
         for target in node.targets:
             if isinstance(target, ast.Name):
-                if is_as_dict:
-                    self.as_dict_vars.add(target.id)
-                else:
-                    self.as_dict_vars.discard(target.id)
+                for tracked, hit in (
+                    (self.as_dict_vars, is_as_dict),
+                    (self.tables_vars, is_tables),
+                    (self.set_vars, is_set),
+                ):
+                    if hit:
+                        tracked.add(target.id)
+                    else:
+                        tracked.discard(target.id)
+            self._check_tables_mutation(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_tables_mutation(node.target)
+        self.generic_visit(node)
+
+    # -- DET008: mutation of exported DenseCandidateTables ----------------
+    def _check_tables_mutation(self, target: ast.AST) -> None:
+        if not self.kernel:
+            return
+        node = target
+        if isinstance(node, ast.Subscript):
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id in self.tables_vars):
+                self.report(
+                    target,
+                    "DET008",
+                    f"subscript write into exported candidate tables "
+                    f"{node.value.id!r}; engines share them — rebuild via "
+                    "export_tables() instead of mutating",
+                )
+                return
+            node = node.value
+        if isinstance(node, ast.Attribute) and node.attr in _TABLES_FIELDS:
+            base = _dotted(node.value)
+            leaf = base.rsplit(".", 1)[-1]
+            if leaf in self.tables_vars or leaf.endswith("tables"):
+                self.report(
+                    target,
+                    "DET008",
+                    f"write to {base}.{node.attr} mutates exported "
+                    "DenseCandidateTables; engines share them — rebuild "
+                    "via export_tables() instead of mutating",
+                )
+
+    # -- DET009: unordered-set iteration in kernel code -------------------
+    def _iterates_unordered(self, iter_node: ast.AST) -> bool:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            return True
+        if (isinstance(iter_node, ast.Call)
+                and isinstance(iter_node.func, ast.Name)
+                and iter_node.func.id in ("set", "frozenset")):
+            return True
+        if (isinstance(iter_node, ast.Name)
+                and iter_node.id in self.set_vars):
+            return True
+        if (isinstance(iter_node, ast.Attribute)
+                and iter_node.attr in _UNORDERED_INDEX_ATTRS):
+            return True
+        return False
+
+    def _check_loop_iter(self, node) -> None:
+        if self.kernel and self._iterates_unordered(node.iter):
+            self.report(
+                node,
+                "DET009",
+                "iteration over an unordered set in kernel code is "
+                "hash-order dependent; iterate sorted(...) to pin the "
+                "order the engines replay",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_loop_iter(node)
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_loop_iter(node)
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    # -- DET010: from-imported wall-clock readers -------------------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time" and not self.wall_clock_ok:
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_FROM_IMPORTS:
+                    bound = alias.asname or alias.name
+                    self.report(
+                        node,
+                        "DET010",
+                        f"wall-clock reader bound to bare name {bound!r} "
+                        f"(from time import {alias.name}) evades the "
+                        "attribute-based DET003 check; import the module "
+                        "and read through it, or move the timing into an "
+                        "allowlisted boundary file ("
+                        + ", ".join(WALL_CLOCK_ALLOWED) + ")",
+                    )
         self.generic_visit(node)
 
     def visit_Delete(self, node: ast.Delete) -> None:

@@ -10,9 +10,11 @@ times out after minutes. The pre-flight gate runs the cheap static checks
 :mod:`repro.analysis.certifier`) **before** any worker is spawned, so a
 broken sweep fails in milliseconds with the offending spec identified.
 
-Certification results are memoized per ``(topology, scheme)`` within the
-process: a 500-trial injection-rate sweep over one topology certifies the
-configuration exactly once.
+Certification results are memoized per ``(topology, scheme, flow
+control, flow set)`` within the process: a 500-trial injection-rate
+sweep over one topology certifies the configuration exactly once, and a
+lossless sweep re-certifies only when its pinned flow set (which shapes
+the pause-augmented buffer-dependency graph) actually changes.
 
 The gate is opt-out: ``Harness(preflight=False)`` or the CLI flag
 ``--no-preflight`` skips it (e.g. for deliberately broken configurations
@@ -25,18 +27,25 @@ import json
 import pickle
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from ..core.config import Scheme
-from .certifier import CERTIFIED, Certificate, certify_configuration
+from ..core.config import PfcConfig, Scheme
+from .certifier import (
+    CERTIFIED,
+    Certificate,
+    certify_configuration,
+    certify_pause_configuration,
+)
 
 __all__ = ["PreflightError", "validate_spec", "clear_preflight_cache"]
 
 #: Schemes whose static claim pre-flight enforces. Reactive schemes
 #: (spin, static_bubble, none, ideal) make no static deadlock-freedom
 #: claim — their correctness is a runtime property — so refusing their
-#: specs statically would be wrong.
+#: specs statically would be wrong. This holds under pause/resume flow
+#: control too: the lossless experiments deliberately run scheme-none
+#: rows into a CBD wedge to measure it.
 _STATIC_SCHEMES = frozenset({Scheme.DRAIN, Scheme.UPDOWN, Scheme.ESCAPE_VC})
 
-_CERT_CACHE: Dict[Tuple[str, str], Certificate] = {}
+_CERT_CACHE: Dict[Tuple[str, str, str, str], Certificate] = {}
 
 
 class PreflightError(ValueError):
@@ -84,7 +93,10 @@ def validate_spec(spec: "Any") -> Optional[Certificate]:
     4. any embedded topology is connected;
     5. for schemes with a static deadlock-freedom claim (drain, up*/down*,
        escape-VC), the configuration certifier issues ``CERTIFIED`` on the
-       boot topology — memoized per (topology, scheme).
+       boot topology — the pause-aware certifier when the config runs
+       ``flow_control="pause_resume"`` (restricted to the trial's pinned
+       flow set, with the PFC thresholds' feasibility checked first) —
+       memoized per (topology, scheme, flow-control, flow-set).
 
     Returns the certificate when one was produced (step 5), else ``None``.
     Fault-schedule trials are certified on the *boot* topology only: the
@@ -144,10 +156,34 @@ def validate_spec(spec: "Any") -> Optional[Certificate]:
     if scheme not in _STATIC_SCHEMES:
         return None
 
-    cache_key = (_topology_key(topo_spec), scheme.value)
+    flow_control = str(config.get("flow_control", "credit"))
+    flow_set = _flow_set(params)
+    flow_key = json.dumps(flow_set, separators=(",", ":"))
+    cache_key = (
+        _topology_key(topo_spec), scheme.value, flow_control, flow_key
+    )
     certificate = _CERT_CACHE.get(cache_key)
     if certificate is None:
-        certificate = certify_configuration(topology, scheme=scheme)
+        if flow_control == "pause_resume":
+            network = config.get("network") or {}
+            try:
+                pfc = PfcConfig(**(config.get("pfc") or {}))
+                certificate = certify_pause_configuration(
+                    topology,
+                    scheme=scheme,
+                    pfc=pfc,
+                    vcs_per_vn=int(network.get("vcs_per_vn", 2)),
+                    num_vns=int(network.get("num_vns", 1)),
+                    flows=flow_set,
+                )
+            except (TypeError, ValueError) as exc:
+                raise PreflightError(
+                    f"pause/resume configuration is infeasible for "
+                    f"{topology.name!r}: {exc}",
+                    digest=digest,
+                ) from exc
+        else:
+            certificate = certify_configuration(topology, scheme=scheme)
         _CERT_CACHE[cache_key] = certificate
     if certificate.verdict != CERTIFIED:
         raise PreflightError(
@@ -157,3 +193,20 @@ def validate_spec(spec: "Any") -> Optional[Certificate]:
             certificate=certificate,
         )
     return certificate
+
+
+def _flow_set(params: Mapping[str, Any]) -> Optional[list]:
+    """The trial's pinned (src, dst) flow pairs, sorted, or ``None``.
+
+    Lossless trials carry their flows under ``params["lossless"]
+    ["flows"]`` as ``[src, dst, rate, packets]`` rows; only the endpoint
+    pairs shape the pause-augmented BDG, so rates and packet budgets do
+    not enter the memoization key.
+    """
+    lossless = params.get("lossless") if isinstance(params, Mapping) else None
+    if not isinstance(lossless, Mapping):
+        return None
+    flows = lossless.get("flows")
+    if not flows:
+        return None
+    return sorted({(int(f[0]), int(f[1])) for f in flows})

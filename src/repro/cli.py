@@ -18,10 +18,13 @@ Subcommands:
   print the resulting drain path / turn-table summary;
 - ``repro-drain check`` — statically certify (or refute) a configuration's
   deadlock-freedom claim: drain-cycle coverage for the DRAIN scheme,
-  dependency-graph acyclicity for turn-restricted routing. Exit 0 on
-  ``CERTIFIED``, 1 on ``REFUTED`` (with a concrete counterexample), 2 on
-  bad input; ``--json`` emits the full certificate;
-- ``repro-drain lint`` — run the determinism lint pass (DET001-DET006)
+  dependency-graph acyclicity for turn-restricted routing, and — with
+  ``--flow-control pause_resume`` — the pause-augmented buffer-dependency
+  graph of a lossless (PFC) fabric, including escape-VC pause exemptions
+  and headroom feasibility. Exit 0 on ``CERTIFIED``, 1 on ``REFUTED``
+  (with a concrete counterexample), 2 on bad input; ``--json`` emits the
+  full certificate;
+- ``repro-drain lint`` — run the determinism lint pass (DET001-DET010)
   over Python sources; exit 1 when findings exist;
 - ``repro-drain bench`` — run the deterministic benchmark suite and write
   a ``BENCH_<stamp>.json`` report, or ``--compare A.json B.json`` to
@@ -53,6 +56,7 @@ from .analysis import (
     ROUTING_NAMES,
     certify_configuration,
     certify_drain_cover,
+    certify_pause_configuration,
     lint_paths,
 )
 from .core.config import DrainConfig, NetworkConfig, PfcConfig, Scheme, SimConfig
@@ -522,6 +526,20 @@ def _cmd_drainpath(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_flows(pairs: List[str]) -> Optional[List]:
+    """``--flow SRC-DST`` strings to (src, dst) tuples, or None if empty."""
+    if not pairs:
+        return None
+    flows = []
+    for text in pairs:
+        try:
+            src, dst = (int(v) for v in text.split("-"))
+        except ValueError:
+            raise ValueError(f"bad --flow {text!r}; expected SRC-DST")
+        flows.append((src, dst))
+    return flows
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     """Statically certify or refute one configuration's deadlock claim."""
     topo = parse_topology(args.topology, faults=args.faults, seed=args.seed)
@@ -537,7 +555,26 @@ def _cmd_check(args: argparse.Namespace) -> int:
             window=(0, 1000), onset="uniform",
         )
 
-    if args.omit_link and scheme is Scheme.DRAIN and routing is None:
+    if args.flow_control == "pause_resume":
+        # Pause-aware path: certify the pause-augmented buffer-dependency
+        # graph. Infeasible PFC thresholds and malformed flows raise
+        # ValueError, which main() turns into a one-line exit-2 error.
+        if args.omit_link:
+            raise ValueError(
+                "--omit-link is a drain-cover breakage knob; it has no "
+                "meaning under --flow-control pause_resume"
+            )
+        pfc = PfcConfig(pause_threshold=args.pfc_threshold,
+                        resume_threshold=args.pfc_resume,
+                        headroom=args.pfc_headroom)
+        cert = certify_pause_configuration(
+            topo, scheme=scheme, pfc=pfc,
+            vcs_per_vn=args.vcs, num_vns=args.vns,
+            flows=_parse_flows(args.flow),
+            routing=routing, schedule=schedule,
+            method=args.method, max_circuits=args.max_circuits,
+        )
+    elif args.omit_link and scheme is Scheme.DRAIN and routing is None:
         # Deliberate-breakage knob: build the drain cover over a weakened
         # topology, then certify it against the *real* one — the omitted
         # links surface as the uncovered-link counterexample.
@@ -591,7 +628,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Determinism lint pass over Python sources (DET001-DET006)."""
+    """Determinism lint pass over Python sources (DET001-DET010)."""
     findings = lint_paths(args.paths)
     for finding in findings:
         print(finding.render())
@@ -755,6 +792,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "bidirectional link, then certify against the "
                               "full topology — a deliberate-breakage demo; "
                               "repeatable")
+    p_check.add_argument("--flow-control", choices=("credit", "pause_resume"),
+                         default="credit",
+                         help="certify under credit (default) or lossless "
+                              "pause/resume (PFC) flow control; pause mode "
+                              "builds the pause-augmented buffer-dependency "
+                              "graph")
+    p_check.add_argument("--pfc-threshold", type=int, default=1,
+                         help="PFC pause threshold (with pause_resume)")
+    p_check.add_argument("--pfc-resume", type=int, default=0,
+                         help="PFC resume threshold (with pause_resume)")
+    p_check.add_argument("--pfc-headroom", type=int, default=1,
+                         help="PFC headroom slots (with pause_resume)")
+    p_check.add_argument("--vcs", type=int, default=2,
+                         help="VCs per VN — the PFC row depth "
+                              "(with pause_resume)")
+    p_check.add_argument("--vns", type=int, default=1,
+                         help="virtual networks (with pause_resume)")
+    p_check.add_argument("--flow", action="append", default=[],
+                         metavar="SRC-DST",
+                         help="restrict the pause BDG to this pinned flow; "
+                              "repeatable (default: all-pairs)")
     p_check.add_argument("--json", action="store_true",
                          help="emit the full certificate as JSON")
 
@@ -779,7 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "calibration normalisation (default 0.25)")
 
     p_lint = sub.add_parser(
-        "lint", help="determinism lint pass (DET001-DET006)"
+        "lint", help="determinism lint pass (DET001-DET010)"
     )
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")

@@ -188,6 +188,28 @@ class PfcConfig:
         if self.headroom < 0:
             raise ValueError("pfc headroom must be non-negative")
 
+    def feasibility_error(self, vcs_per_vn: int) -> Optional[str]:
+        """Why this config cannot stay lossless at *vcs_per_vn* row depth.
+
+        Returns ``None`` when the thresholds fit the row, otherwise the
+        exact message every enforcement point (``SimConfig``, the
+        pause-resume fabric, the static certifier, the CLI) reports, so a
+        rejected configuration reads identically everywhere.
+        """
+        if self.headroom > vcs_per_vn:
+            return (
+                f"pfc headroom ({self.headroom}) exceeds the buffer "
+                f"depth ({vcs_per_vn} VCs per VN)"
+            )
+        if self.pause_threshold + self.headroom > vcs_per_vn:
+            return (
+                f"pfc pause_threshold ({self.pause_threshold}) + "
+                f"headroom ({self.headroom}) exceeds the buffer "
+                f"depth ({vcs_per_vn} VCs per VN); pausing would fire too "
+                "late to stay lossless"
+            )
+        return None
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -226,19 +248,9 @@ class SimConfig:
                 "expected 'credit' or 'pause_resume'"
             )
         if self.flow_control == "pause_resume":
-            depth = self.network.vcs_per_vn
-            if self.pfc.headroom > depth:
-                raise ValueError(
-                    f"pfc headroom ({self.pfc.headroom}) exceeds the buffer "
-                    f"depth ({depth} VCs per VN)"
-                )
-            if self.pfc.pause_threshold + self.pfc.headroom > depth:
-                raise ValueError(
-                    f"pfc pause_threshold ({self.pfc.pause_threshold}) + "
-                    f"headroom ({self.pfc.headroom}) exceeds the buffer "
-                    f"depth ({depth} VCs per VN); pausing would fire too "
-                    "late to stay lossless"
-                )
+            err = self.pfc.feasibility_error(self.network.vcs_per_vn)
+            if err is not None:
+                raise ValueError(err)
 
     def with_scheme(self, scheme: Scheme) -> "SimConfig":
         return replace(self, scheme=scheme)

@@ -21,12 +21,20 @@ packets lost forever observed).
 
 A final row runs a 1024-switch leaf-spine (1008 leaves x 16 spines,
 2 uplinks) end-to-end through the sweep harness to pin the scale path.
+
+Every row also carries the pause-aware static certifier's verdict
+(``static_verdict``): the certifier REFUTES each scheme-NONE row with the
+very ring buffer cycle the watchdog later confirms, and CERTIFIES each
+DRAIN row via the escape-VC pause exemption — the static/dynamic
+agreement the differential harness (:mod:`repro.analysis.differential`)
+enforces.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..analysis import certify_pause_configuration
 from ..core.config import (
     DrainConfig,
     NetworkConfig,
@@ -92,9 +100,17 @@ def lossless_pfc_study(
 
     combos = []
     specs = []
+    verdicts = []
+    ring_pairs = [(f.src, f.dst) for f in _scenario_flows(None)]
     for pause in thresholds:
         for scheme in (Scheme.NONE, Scheme.DRAIN):
             config = _scenario_config(scheme, pause, scale, seed)
+            verdicts.append(certify_pause_configuration(
+                topo, scheme=scheme, pfc=config.pfc,
+                vcs_per_vn=config.network.vcs_per_vn,
+                num_vns=config.network.num_vns,
+                flows=ring_pairs,
+            ).verdict)
             if scheme is Scheme.NONE:
                 # Open-loop flows; the watchdog halts the run with the
                 # concrete buffer cycle once the CBD closes.
@@ -134,17 +150,24 @@ def lossless_pfc_study(
             degradation_ladder=True,
         ))
         combos.append((2, Scheme.DRAIN))
+        verdicts.append(certify_pause_configuration(
+            big, scheme=Scheme.DRAIN, pfc=big_config.pfc,
+            vcs_per_vn=big_config.network.vcs_per_vn,
+            num_vns=big_config.network.num_vns,
+            flows=[(f.src, f.dst) for f in big_flows],
+        ).verdict)
 
     results = harness.run(specs, label="lossless-pfc")
 
     rows: List[Dict] = []
-    for (pause, scheme), res in zip(combos, results):
+    for (pause, scheme), verdict, res in zip(combos, verdicts, results):
         payload = res.get("deadlock_cycle")
         ladder = res.get("ladder") or {}
         row: Dict = {
             "topology": res.get("topology", ""),
             "pause_threshold": pause,
             "scheme": scheme.value,
+            "static_verdict": verdict,
             "deadlocked": bool(res["deadlocked"]),
             "cycle_confirmed": payload is not None,
             "cycle_length": payload["length"] if payload else 0,

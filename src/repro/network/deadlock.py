@@ -303,6 +303,39 @@ def extract_cycle(
     return None
 
 
+def _canonical_slot_rotation(index, cycle: List[Slot]) -> List[Slot]:
+    """Rotate *cycle* so its per-hop link sequence is lexicographically
+    minimal over all rotations.
+
+    Rotation is the only freedom ``extract_cycle`` has (the slot cycle
+    itself is determined by the wedge), so fixing it makes the payload a
+    canonical representative — directly comparable, by plain equality on
+    the ``links`` field, with the static certifier's buffer-cycle
+    counterexamples, which are canonicalised the same way.
+    """
+    n = len(cycle)
+    if n < 2:
+        return cycle
+
+    def hop_key(slot: Slot):
+        port = slot[0]
+        if index.is_injection_port(port):
+            return (1, port)
+        return (0, index.link_src[port], index.link_dst[port])
+
+    keys = [hop_key(slot) for slot in cycle]
+    best = 0
+    for offset in range(1, n):
+        for j in range(n):
+            a = keys[(offset + j) % n]
+            b = keys[(best + j) % n]
+            if a != b:
+                if a < b:
+                    best = offset
+                break
+    return cycle[best:] + cycle[:best]
+
+
 def deadlock_cycle_payload(
     fabric: Fabric,
     deadlocked: Set[Slot],
@@ -321,6 +354,7 @@ def deadlock_cycle_payload(
     if cycle is None:
         return None
     index = fabric.index
+    cycle = _canonical_slot_rotation(index, cycle)
     hops = []
     routers: List[int] = []
     links: List[List[int]] = []

@@ -63,6 +63,13 @@ class DenseCandidateTables:
                                   dtype=_np.int32, count=total)
         self.counts = counts
         self.offsets = offsets
+        # Exported tables are shared between engines; an in-place write
+        # would silently desynchronise them from the routing function, so
+        # freeze the arrays (the DET008 lint rule guards the same contract
+        # statically).
+        self.links.setflags(write=False)
+        self.counts.setflags(write=False)
+        self.offsets.setflags(write=False)
 
     def row(self, router: int, dst: int) -> List[int]:
         """Candidate link ids for (router, dst), routing-function order."""

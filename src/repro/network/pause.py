@@ -58,12 +58,9 @@ class PauseResumeFabric(Fabric):
         self.pause_threshold = pfc.pause_threshold
         self.resume_threshold = pfc.resume_threshold
         self.headroom = pfc.headroom
-        if self.pause_threshold + self.headroom > self.vcs_per_vn:
-            raise ValueError(
-                f"pfc pause_threshold ({self.pause_threshold}) + headroom "
-                f"({self.headroom}) exceeds the buffer depth "
-                f"({self.vcs_per_vn} VCs per VN)"
-            )
+        err = pfc.feasibility_error(self.vcs_per_vn)
+        if err is not None:
+            raise ValueError(err)
         num_rows = self.index.num_links * self.num_vns
         #: Per-row occupancy and XOFF state; row = port * num_vns + vn.
         self._row_occ = bytearray(num_rows)

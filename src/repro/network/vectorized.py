@@ -216,7 +216,7 @@ class VectorizedEngine:
         # path skips them per-candidate while leaving them in the rotation
         # count). Pre-marking them "used" reproduces that skip for free.
         if index.dead_links:
-            for link in index.dead_links:
+            for link in sorted(index.dead_links):
                 used[link] = 1
         rows = self._rows
         esc_rows = self._esc_rows
