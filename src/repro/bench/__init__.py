@@ -10,7 +10,10 @@
   RSS, config hash);
 - :mod:`repro.bench.compare` — compares two reports, normalising by the
   calibration case so CI machines of different speeds share one
-  regression threshold.
+  regression threshold;
+- :mod:`repro.bench.trend` — folds the committed report series
+  (``benchmarks/BENCH_*.json``) into one calibration-normalised
+  per-case trajectory table (``repro-drain bench --trend``).
 
 The CLI front end is ``repro-drain bench`` (see README, "Benchmarking").
 """
@@ -18,6 +21,7 @@ The CLI front end is ``repro-drain bench`` (see README, "Benchmarking").
 from .cases import BenchCase, CASES, case_names, resolve_cases
 from .compare import CompareResult, compare_reports, load_report
 from .runner import default_report_name, run_suite, write_report
+from .trend import collect_reports, render_trend, trend_rows
 
 __all__ = [
     "BenchCase",
@@ -30,4 +34,7 @@ __all__ = [
     "default_report_name",
     "run_suite",
     "write_report",
+    "collect_reports",
+    "render_trend",
+    "trend_rows",
 ]

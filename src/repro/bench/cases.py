@@ -252,6 +252,81 @@ def _setup_e2e(rate: float) -> Callable[[], None]:
 
 _E2E_CYCLES = common.Scale.ci().total_cycles
 
+
+# ----------------------------------------------------------------------
+# Cross-trial batching: sweep-shaped e2e pairs (solo vs lockstep batch)
+# ----------------------------------------------------------------------
+_SWEEP16_SEEDS = 16
+_SWEEP16_RATE = 0.02
+#: Short sweep points: at 80 cycles per trial, per-trial construction
+#: (index, routing, drain tables, engine rows) dominates a solo run —
+#: the regime cross-trial batching amortizes. The solo/batch pair share
+#: one spec list, so their wall-time ratio in a single report IS the
+#: batching speedup (same machine, calibration cancels).
+_SWEEP16_SCALE = common.Scale(warmup=16, measure=64)
+
+
+def _sweep16_specs():
+    topology = make_mesh(8, 8)
+    return [
+        common.synthetic_trial_for(
+            topology, Scheme.DRAIN, _SWEEP16_RATE, _SWEEP16_SCALE,
+            pattern="uniform_random", mesh_width=8, seed=seed,
+        )
+        for seed in range(1, _SWEEP16_SEEDS + 1)
+    ]
+
+
+def _setup_e2e_sweep16_solo() -> Callable[[], None]:
+    specs = _sweep16_specs()
+
+    def run() -> None:
+        for spec in specs:
+            execute_trial(spec)
+
+    return run
+
+
+def _setup_e2e_sweep16_batch() -> Callable[[], None]:
+    from ..harness.trials import batch_payload
+
+    payload = batch_payload(_sweep16_specs())
+
+    def run() -> None:
+        execute_trial(payload)
+
+    return run
+
+
+_LEAFSPINE_BATCH_SEEDS = 8
+_LEAFSPINE_BATCH_RATE = 0.05
+_LEAFSPINE_BATCH_SCALE = common.Scale(warmup=40, measure=160)
+
+
+def _setup_e2e_leafspine_batch() -> Callable[[], None]:
+    # The lossless experiments' east-west leaf-spine fabric, batched over
+    # seeds under credit flow control (pause_resume members are evicted
+    # by the group key — scalar-fallback paths never reach the batch
+    # runner). Irregular-topology construction (BFS index, up*/down*
+    # escape, euler drain cover) is the heaviest per-trial setup in the
+    # suite, so this is where shared construction pays most.
+    from ..harness.trials import batch_payload
+    from ..topology.datacenter import make_leaf_spine
+
+    topology = make_leaf_spine(8, 4, uplinks=1, east_west=True)
+    payload = batch_payload([
+        common.synthetic_trial_for(
+            topology, Scheme.DRAIN, _LEAFSPINE_BATCH_RATE,
+            _LEAFSPINE_BATCH_SCALE, pattern="uniform_random", seed=seed,
+        )
+        for seed in range(1, _LEAFSPINE_BATCH_SEEDS + 1)
+    ])
+
+    def run() -> None:
+        execute_trial(payload)
+
+    return run
+
 _E2E_APP_WORKLOAD = "blackscholes"
 #: Deterministic completion cycle of the blackscholes trial below (fixed
 #: seeds make the run length exact); used as the case's work_units so the
@@ -391,6 +466,34 @@ CASES: Dict[str, BenchCase] = {
                    "ci", 1),
             work_units=_E2E_CYCLES,
             setup=lambda: _setup_e2e(0.19),
+        ),
+        BenchCase(
+            name="e2e_fig11_sweep16_solo",
+            kind="e2e",
+            label=("e2e_fig11_sweep16_solo", "mesh8x8", "drain",
+                   _SWEEP16_RATE, _SWEEP16_SEEDS,
+                   _SWEEP16_SCALE.total_cycles),
+            work_units=_SWEEP16_SEEDS * _SWEEP16_SCALE.total_cycles,
+            setup=_setup_e2e_sweep16_solo,
+        ),
+        BenchCase(
+            name="e2e_fig11_sweep16_batch",
+            kind="e2e",
+            label=("e2e_fig11_sweep16_batch", "mesh8x8", "drain",
+                   _SWEEP16_RATE, _SWEEP16_SEEDS,
+                   _SWEEP16_SCALE.total_cycles),
+            work_units=_SWEEP16_SEEDS * _SWEEP16_SCALE.total_cycles,
+            setup=_setup_e2e_sweep16_batch,
+        ),
+        BenchCase(
+            name="e2e_lossless_leafspine_batch",
+            kind="e2e",
+            label=("e2e_lossless_leafspine_batch", "leafspine-8x4-u1-ew",
+                   "drain", _LEAFSPINE_BATCH_RATE, _LEAFSPINE_BATCH_SEEDS,
+                   _LEAFSPINE_BATCH_SCALE.total_cycles),
+            work_units=(_LEAFSPINE_BATCH_SEEDS
+                        * _LEAFSPINE_BATCH_SCALE.total_cycles),
+            setup=_setup_e2e_leafspine_batch,
         ),
         BenchCase(
             name="e2e_fig11_low_load_trace",

@@ -1,0 +1,128 @@
+"""Cross-report performance trajectory (``repro-drain bench --trend``).
+
+One bench report answers "how fast is this commit"; the committed report
+series (``benchmarks/BENCH_*.json`` — per-PR snapshots plus the CI
+baseline) answers "where is the simulator heading". This module folds
+every report in a directory into one per-case table, ordered by each
+report's ``created`` stamp.
+
+Raw wall times are not comparable across the machines that produced the
+snapshots, so every report's times are first divided by its own
+``calibration_lcg`` time relative to the oldest report's — the same
+normalisation :mod:`repro.bench.compare` applies pairwise. After
+normalisation a column-to-column change in a row is a real simulator
+change, not a machine change.
+
+A case whose ``config_hash`` differs from the newest report's definition
+is annotated with ``*``: its workload changed somewhere in the series,
+so its trajectory breaks there (the compare layer skips such pairs for
+the same reason).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .compare import CALIBRATION_CASE, load_report
+
+__all__ = ["collect_reports", "trend_rows", "render_trend"]
+
+
+def collect_reports(directory: Path) -> List[Tuple[str, Dict]]:
+    """Load every ``BENCH_*.json`` under *directory*, oldest first.
+
+    Returns ``(label, report)`` pairs; the label is the file stem with
+    the ``BENCH_`` prefix dropped (``BENCH_pr5.json`` -> ``pr5``). Sort
+    order is the report's ``created`` stamp (filename as a tiebreaker),
+    so renamed files cannot reorder the trajectory.
+    """
+    directory = Path(directory)
+    pairs = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        report = load_report(path)
+        label = path.stem[len("BENCH_"):] or path.stem
+        pairs.append((str(report.get("created", "")), label, report))
+    pairs.sort(key=lambda item: (item[0], item[1]))
+    return [(label, report) for _, label, report in pairs]
+
+
+def _calibration_time(report: Dict) -> float:
+    for case in report.get("cases", ()):
+        if case["name"] == CALIBRATION_CASE:
+            return float(case["wall_time_s"])
+    return 0.0
+
+
+def trend_rows(
+    reports: Sequence[Tuple[str, Dict]],
+) -> Tuple[List[str], List[Dict[str, str]]]:
+    """Build the trajectory table: one row per case, one column per report.
+
+    Cell values are calibration-normalised wall seconds (the oldest
+    report is the reference machine); ``-`` marks a report that did not
+    run the case, ``*`` flags a definition change against the newest
+    report's ``config_hash``.
+    """
+    if not reports:
+        return [], []
+    labels = [label for label, _ in reports]
+    reference = _calibration_time(reports[0][1])
+    newest_hash: Dict[str, str] = {
+        case["name"]: case.get("config_hash", "")
+        for case in reports[-1][1].get("cases", ())
+    }
+    # Case order: as the newest report lists them, then any retired cases
+    # (present somewhere in the series but gone now), alphabetically.
+    order = [case["name"] for case in reports[-1][1].get("cases", ())
+             if case["name"] != CALIBRATION_CASE]
+    seen = set(order) | {CALIBRATION_CASE}
+    retired = sorted({
+        case["name"]
+        for _, report in reports
+        for case in report.get("cases", ())
+    } - seen)
+    rows = []
+    for name in order + retired:
+        row: Dict[str, str] = {"case": name}
+        for label, report in reports:
+            cell = "-"
+            cal = _calibration_time(report)
+            scale = cal / reference if reference > 0 and cal > 0 else 1.0
+            for case in report.get("cases", ()):
+                if case["name"] != name:
+                    continue
+                normalised = float(case["wall_time_s"]) / scale
+                flag = ""
+                if case.get("config_hash", "") != newest_hash.get(name, ""):
+                    flag = "*"
+                cell = f"{normalised:.3f}{flag}"
+                break
+            row[label] = cell
+        rows.append(row)
+    return labels, rows
+
+
+def render_trend(directory: Path) -> str:
+    """The full ``--trend`` output for *directory*, as printable text."""
+    reports = collect_reports(directory)
+    if not reports:
+        return f"no BENCH_*.json reports under {directory}"
+    labels, rows = trend_rows(reports)
+    columns = ["case"] + labels
+    widths = {
+        c: max(len(c), *(len(row.get(c, "-")) for row in rows))
+        for c in columns
+    }
+    lines = [
+        f"bench trend over {len(reports)} report(s) in {directory} "
+        "(calibration-normalised seconds; oldest report is the "
+        "reference machine; * = workload definition changed)",
+        "  ".join(c.ljust(widths[c]) for c in columns),
+        "  ".join("-" * widths[c] for c in columns),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(row.get(c, "-").ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)

@@ -9,7 +9,9 @@ Subcommands:
   on-disk result cache, ``--out-dir DIR`` writes the rows and a JSON run
   manifest alongside them);
 - ``repro-drain sweep`` — a generic parallel injection-rate sweep over
-  schemes × seeds × rates on any topology;
+  schemes × seeds × rates on any topology (``--batch auto`` groups
+  compatible trials into lockstep batches — same results, amortized
+  setup; also accepted by ``experiment`` and ``faults``);
 - ``repro-drain run`` — a single simulation with explicit knobs;
 - ``repro-drain faults`` — inject a seed-derived runtime fault schedule
   into one simulation and write the recovery curve (windowed throughput /
@@ -24,12 +26,13 @@ Subcommands:
   and headroom feasibility. Exit 0 on ``CERTIFIED``, 1 on ``REFUTED``
   (with a concrete counterexample), 2 on bad input; ``--json`` emits the
   full certificate;
-- ``repro-drain lint`` — run the determinism lint pass (DET001-DET010)
+- ``repro-drain lint`` — run the determinism lint pass (DET001-DET011)
   over Python sources; exit 1 when findings exist;
 - ``repro-drain bench`` — run the deterministic benchmark suite and write
-  a ``BENCH_<stamp>.json`` report, or ``--compare A.json B.json`` to
+  a ``BENCH_<stamp>.json`` report, ``--compare A.json B.json`` to
   judge a new report against a baseline (exit 1 on regression) — the CI
-  non-regression guard.
+  non-regression guard — or ``--trend [DIR]`` to fold the committed
+  report series into a calibration-normalised per-case trajectory table.
 
 ``repro-drain run``/``sweep`` accept ``--profile`` to wrap the work in
 ``cProfile`` and write ``.prof`` + top-25 cumulative text next to the run
@@ -206,7 +209,8 @@ def _build_harness(args: argparse.Namespace) -> Harness:
         cache = ResultCache(args.cache_dir)  # None -> default location
     return Harness(workers=args.workers, cache=cache,
                    timeout=getattr(args, "timeout", None),
-                   preflight=not getattr(args, "no_preflight", False))
+                   preflight=not getattr(args, "no_preflight", False),
+                   batch=getattr(args, "batch", None))
 
 
 def _write_artefact(
@@ -603,6 +607,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the benchmark suite, or compare two reports (CI guard)."""
     from . import bench
 
+    if args.trend is not None:
+        print(bench.render_trend(Path(args.trend)))
+        return 0
     if args.compare:
         base = bench.load_report(Path(args.compare[0]))
         new = bench.load_report(Path(args.compare[1]))
@@ -628,7 +635,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Determinism lint pass over Python sources (DET001-DET010)."""
+    """Determinism lint pass over Python sources (DET001-DET011)."""
     findings = lint_paths(args.paths)
     for finding in findings:
         print(finding.render())
@@ -664,6 +671,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-preflight", action="store_true",
                        help="skip static pre-flight validation of trial "
                             "specs (repro-drain check run per config)")
+        p.add_argument("--batch", default=None, metavar="MODE",
+                       help="cross-trial lockstep batching: 'off' (default), "
+                            "'auto' (group compatible specs into batches of "
+                            "16 when a group has >= 4 members) or an integer "
+                            "batch size; results are bit-identical to solo "
+                            "runs and share the same cache entries "
+                            "(default: $REPRO_BATCH or off)")
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artefact")
     p_exp.add_argument("name")
@@ -835,9 +849,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--tolerance", type=float, default=0.25,
                          help="allowed slowdown vs baseline after "
                               "calibration normalisation (default 0.25)")
+    p_bench.add_argument("--trend", nargs="?", const="benchmarks",
+                         default=None, metavar="DIR",
+                         help="aggregate every BENCH_*.json report in DIR "
+                              "(default: benchmarks/) into a calibration-"
+                              "normalised per-case trajectory table "
+                              "instead of running")
 
     p_lint = sub.add_parser(
-        "lint", help="determinism lint pass (DET001-DET010)"
+        "lint", help="determinism lint pass (DET001-DET011)"
     )
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")

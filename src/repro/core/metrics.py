@@ -32,7 +32,15 @@ def percentile(samples: List[float], pct: float) -> float:
     if low == high:
         return ordered[low]
     frac = rank - low
-    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+    value = ordered[low] * (1.0 - frac) + ordered[high] * frac
+    # The two rounded weight products can overshoot the bracket by one
+    # ulp (e.g. x*0.02 + x*0.98 > x for some subnormal-scale x); a
+    # percentile must stay within [min, max] of its samples.
+    if value < ordered[low]:
+        return ordered[low]
+    if value > ordered[high]:
+        return ordered[high]
+    return value
 
 
 class RunningStats:

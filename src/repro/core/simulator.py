@@ -164,6 +164,7 @@ class Simulation:
         degradation_ladder: bool = False,
         dense: bool = False,
         engine: Optional[str] = None,
+        shared=None,
     ) -> None:
         if flow_control not in ("vct", "wormhole"):
             raise ValueError("flow_control must be 'vct' or 'wormhole'")
@@ -187,9 +188,23 @@ class Simulation:
         self.traffic = traffic
         self.halt_on_deadlock = halt_on_deadlock
         self.flow_control = flow_control
-        self.index = FabricIndex(topology)
-        self.stats = NetworkStats()
         scheme = config.scheme
+        # Cross-trial shared construction (repro.network.batched.SharedParts):
+        # batch members of one group reuse the donor's index, routing and
+        # drain path instead of rebuilding them. Sound only while nothing
+        # can mutate the shared state mid-run — runtime faults rewrite the
+        # index's distances and the installed drain paths, so fault-bearing
+        # configurations always build private parts.
+        adopt = (
+            shared is not None
+            and shared.topology is topology
+            and shared.scheme is scheme
+            and fault_schedule is None
+            and pause_storm is None
+            and not degradation_ladder
+        )
+        self.index = shared.index if adopt else FabricIndex(topology)
+        self.stats = NetworkStats()
         if flow_control == "wormhole" and scheme not in (
             Scheme.DRAIN, Scheme.NONE
         ):
@@ -200,7 +215,9 @@ class Simulation:
 
         # Main routing function (Table II: fully adaptive random everywhere
         # except the pure up*/down* baseline).
-        if scheme is Scheme.UPDOWN:
+        if adopt:
+            routing = shared.routing
+        elif scheme is Scheme.UPDOWN:
             # The classic deterministic variant: this is the baseline whose
             # cost Figure 5 quantifies.
             routing = UpDownRouting(self.index, deterministic=True)
@@ -211,14 +228,19 @@ class Simulation:
         escape_routing = None
         if scheme is Scheme.DRAIN:
             escape_mode = "drain"
+            if adopt and drain_path is None:
+                drain_path = shared.drain_path
         elif scheme is Scheme.ESCAPE_VC:
             escape_mode = "escape_vc"
-            # DOR on the fault-free mesh, up*/down* on irregular topologies
-            # (Section V-B's configuration).
-            try:
-                escape_routing = DimensionOrderRouting(self.index)
-            except ValueError:
-                escape_routing = UpDownRouting(self.index)
+            if adopt:
+                escape_routing = shared.escape_routing
+            else:
+                # DOR on the fault-free mesh, up*/down* on irregular
+                # topologies (Section V-B's configuration).
+                try:
+                    escape_routing = DimensionOrderRouting(self.index)
+                except ValueError:
+                    escape_routing = UpDownRouting(self.index)
 
         if flow_control == "wormhole":
             from ..network.wormhole import WormholeFabric
@@ -262,7 +284,8 @@ class Simulation:
 
         if scheme is Scheme.DRAIN:
             self.drain_controller = DrainController(
-                self.fabric, config.drain, path=drain_path
+                self.fabric, config.drain, path=drain_path,
+                tables_from=shared.drain_ctrl if adopt else None,
             )
         elif scheme is Scheme.SPIN:
             self.spin_controller = SpinController(

@@ -49,6 +49,7 @@ class DrainController:
         fabric: Fabric,
         config: DrainConfig,
         path: Optional[DrainPath] = None,
+        tables_from: Optional["DrainController"] = None,
     ) -> None:
         self.fabric = fabric
         self.config = config
@@ -68,7 +69,18 @@ class DrainController:
         self.pre_drain_extensions = 0
         #: Online drain-path reinstallations (fault recovery events).
         self.reinstalls = 0
-        self.install_paths([path])
+        if (tables_from is not None and len(tables_from.paths) == 1
+                and tables_from.paths[0] is path):
+            # Cross-trial shared construction (batch groups): the donor
+            # compiled turn tables for this exact path object, and the
+            # compiled form is read-only until a recovery reinstall (which
+            # replaces it wholesale). Adopting it skips the per-member
+            # build without any shared mutable state.
+            self.paths = tables_from.paths
+            self.turn_tables = tables_from.turn_tables
+            self.path_port_cycles = tables_from.path_port_cycles
+        else:
+            self.install_paths([path])
 
     # ------------------------------------------------------------------
     def install_paths(self, paths: Sequence[DrainPath]) -> None:

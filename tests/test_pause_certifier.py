@@ -1,4 +1,4 @@
-"""Pause-aware static certifier + engine-parity lint rules (DET007-010).
+"""Pause-aware static certifier + engine-parity lint rules (DET007-011).
 
 Known-answer coverage for the lossless certification matrix on the pinned
 leaf-spine CBD scenario and the fat-tree up*/down* fabric, unit coverage
@@ -328,6 +328,69 @@ class TestDet010WallClockFromImport:
     def test_pragma_suppresses(self):
         src = "from time import perf_counter  # det: allow\n"
         assert codes(src, "src/repro/core/demo.py") == []
+
+
+class TestDet011BatchInnerLoopBranching:
+    DISPATCH = ("while live:\n"
+                "    for m in live:\n"
+                "        if m.ctrl_due <= cycle:\n"
+                "            pass\n")
+
+    def test_member_attr_branch_fires(self):
+        assert codes(self.DISPATCH, KERNEL) == ["DET011"]
+
+    def test_live_mask_fields_are_allowed(self):
+        src = ("while live:\n"
+               "    for m in live:\n"
+               "        grant = quantum\n"
+               "        while grant and not m.retired:\n"
+               "            step(m)\n"
+               "            grant -= 1\n"
+               "        if not m.retired:\n"
+               "            nxt.append(m)\n")
+        assert codes(src, KERNEL) == []
+
+    def test_while_test_and_ternary_fire(self):
+        src = ("while live:\n"
+               "    for m in self.members:\n"
+               "        while m.backlog:\n"
+               "            pass\n"
+               "        x = 1 if m.sim else 0\n")
+        assert codes(src, KERNEL) == ["DET011", "DET011"]
+
+    def test_top_level_member_loop_is_setup_not_dispatch(self):
+        # Validation sweeps before the scheduling rounds may branch on
+        # anything — only nested (round-robin) loops are dispatch.
+        src = ("for m in members:\n"
+               "    if m.sim.cycle != 0:\n"
+               "        raise ValueError\n")
+        assert codes(src, KERNEL) == []
+
+    def test_non_member_collections_are_exempt(self):
+        src = ("while work:\n"
+               "    for job in queue:\n"
+               "        if job.priority:\n"
+               "            pass\n")
+        assert codes(src, KERNEL) == []
+
+    def test_non_kernel_path_is_exempt(self):
+        assert codes(self.DISPATCH, "src/repro/harness/demo.py") == []
+
+    def test_pragma_suppresses(self):
+        src = ("while live:\n"
+               "    for m in live:\n"
+               "        if m.ctrl_due <= cycle:  # det: allow\n"
+               "            pass\n")
+        assert codes(src, KERNEL) == []
+
+    def test_real_batch_kernel_is_clean(self):
+        # The shipped batch runner must satisfy its own dispatch rule
+        # without pragmas.
+        from pathlib import Path
+        root = Path(__file__).resolve().parents[1]
+        path = root / "src" / "repro" / "network" / "batched.py"
+        found = [f.code for f in lint_source(path.read_text(), str(path))]
+        assert found == []
 
 
 # ---------------------------------------------------------------------------
