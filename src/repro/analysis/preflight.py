@@ -157,12 +157,44 @@ def validate_spec(spec: "Any") -> Optional[Certificate]:
         return None
 
     flow_control = str(config.get("flow_control", "credit"))
+    network = config.get("network") or {}
+    if flow_control == "pause_resume":
+        # Feasibility is threshold-dependent but the certificate memo key
+        # deliberately is not (thresholds don't shape the pause BDG), so
+        # an infeasible config must be refused *before* any cached — or
+        # store-persisted — certificate can answer for it.
+        try:
+            pfc = PfcConfig(**(config.get("pfc") or {}))
+            error = pfc.feasibility_error(int(network.get("vcs_per_vn", 2)))
+        except (TypeError, ValueError) as exc:
+            error = str(exc)
+        if error:
+            raise PreflightError(
+                f"pause/resume configuration is infeasible for "
+                f"{topology.name!r}: {error}",
+                digest=digest,
+            )
     flow_set = _flow_set(params)
     flow_key = json.dumps(flow_set, separators=(",", ":"))
     cache_key = (
         _topology_key(topo_spec), scheme.value, flow_control, flow_key
     )
     certificate = _CERT_CACHE.get(cache_key)
+    if certificate is None:
+        # Persistent layer: the compiled-structure store keeps issued
+        # certificates across processes and runs (keyed by the same memo
+        # tuple). A corrupt or absent entry just falls through to the
+        # certifier; verdicts re-enter both layers on the way out.
+        from .. import structcache
+
+        stored = structcache.load_certificate(cache_key)
+        if stored is not None:
+            try:
+                certificate = Certificate(**stored)
+            except (TypeError, ValueError):
+                certificate = None
+        if certificate is not None:
+            _CERT_CACHE[cache_key] = certificate
     if certificate is None:
         if flow_control == "pause_resume":
             network = config.get("network") or {}
@@ -185,6 +217,7 @@ def validate_spec(spec: "Any") -> Optional[Certificate]:
         else:
             certificate = certify_configuration(topology, scheme=scheme)
         _CERT_CACHE[cache_key] = certificate
+        structcache.save_certificate(cache_key, certificate.as_dict())
     if certificate.verdict != CERTIFIED:
         raise PreflightError(
             f"configuration refuted for scheme {scheme.value!r} on "

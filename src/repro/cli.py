@@ -26,13 +26,22 @@ Subcommands:
   and headroom feasibility. Exit 0 on ``CERTIFIED``, 1 on ``REFUTED``
   (with a concrete counterexample), 2 on bad input; ``--json`` emits the
   full certificate;
-- ``repro-drain lint`` — run the determinism lint pass (DET001-DET011)
+- ``repro-drain lint`` — run the determinism lint pass (DET001-DET012)
   over Python sources; exit 1 when findings exist;
 - ``repro-drain bench`` — run the deterministic benchmark suite and write
   a ``BENCH_<stamp>.json`` report, ``--compare A.json B.json`` to
   judge a new report against a baseline (exit 1 on regression) — the CI
   non-regression guard — or ``--trend [DIR]`` to fold the committed
-  report series into a calibration-normalised per-case trajectory table.
+  report series into a calibration-normalised per-case trajectory table;
+- ``repro-drain cache`` — inspect (``info``, the default action) or
+  ``clear`` the on-disk trial result cache and the compiled-structure
+  store (``--structs-only`` / ``--results-only`` to restrict).
+
+Harness commands enable the compiled-structure store by default at
+``<cache dir>/structs`` (``--no-struct-cache`` or
+``REPRO_STRUCT_CACHE=off`` disables it; ``REPRO_STRUCT_CACHE=<dir>``
+relocates it), amortizing distance/routing/drain compilation across
+trials, workers and runs with bit-identical results.
 
 ``repro-drain run``/``sweep`` accept ``--profile`` to wrap the work in
 ``cProfile`` and write ``.prof`` + top-25 cumulative text next to the run
@@ -50,6 +59,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import random
 import sys
 from pathlib import Path
@@ -96,6 +106,7 @@ from .experiments import (
     table1_comparison,
     table2_parameters,
 )
+from . import structcache
 from .topology.chiplet import make_chiplet_system
 from .topology.graph import Topology
 from .topology.irregular import inject_link_faults
@@ -202,11 +213,34 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _activate_struct_store(args: argparse.Namespace) -> None:
+    """CLI structure-store policy: on by default, next to the result cache.
+
+    ``--no-struct-cache`` disables it outright; otherwise a set
+    ``$REPRO_STRUCT_CACHE`` wins (a path, or ``0``/``off`` to disable),
+    and the default location is ``<cache dir>/structs``.
+    """
+    if getattr(args, "no_struct_cache", False):
+        structcache.deactivate()
+        return
+    env = os.environ.get(structcache.ENV_VAR)
+    if env is not None:
+        if structcache.env_disabled(env):
+            structcache.deactivate()
+        else:
+            structcache.activate(env)
+        return
+    cache_dir = getattr(args, "cache_dir", None)
+    root = Path(cache_dir) / "structs" if cache_dir else None
+    structcache.activate(root)  # None -> default (<cache root>/structs)
+
+
 def _build_harness(args: argparse.Namespace) -> Harness:
     """Harness from the shared ``--workers/--no-cache/--cache-dir`` flags."""
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)  # None -> default location
+    _activate_struct_store(args)
     return Harness(workers=args.workers, cache=cache,
                    timeout=getattr(args, "timeout", None),
                    preflight=not getattr(args, "no_preflight", False),
@@ -635,13 +669,52 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Determinism lint pass over Python sources (DET001-DET011)."""
+    """Determinism lint pass over Python sources (DET001-DET012)."""
     findings = lint_paths(args.paths)
     for finding in findings:
         print(finding.render())
     if findings:
         print(f"{len(findings)} determinism finding(s)", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the result cache + compiled-structure store."""
+    want_results = not args.structs_only
+    want_structs = not args.results_only
+    if not (want_results or want_structs):
+        print("error: --structs-only and --results-only are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+
+    cache = ResultCache(args.cache_dir)
+    env = os.environ.get(structcache.ENV_VAR)
+    if env is not None and not structcache.env_disabled(env):
+        store = structcache.StructStore(env)
+    elif args.cache_dir:
+        store = structcache.StructStore(Path(args.cache_dir) / "structs")
+    else:
+        store = structcache.StructStore()  # default (<cache root>/structs)
+
+    if args.action == "clear":
+        if want_results:
+            print(f"results: removed {cache.clear()} entries from "
+                  f"{cache.root}")
+        if want_structs:
+            print(f"structs: removed {store.clear()} artefacts from "
+                  f"{store.root}")
+        return 0
+
+    if want_results:
+        print(f"results: {len(cache)} entries at {cache.root}")
+    if want_structs:
+        counts = store.entry_counts()
+        total = sum(counts.values())
+        breakdown = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        size_mib = store.size_bytes() / (1024 * 1024)
+        print(f"structs: {total} artefacts ({breakdown}) at {store.root} "
+              f"[{size_mib:.1f} MiB]")
     return 0
 
 
@@ -668,6 +741,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--timeout", type=float, default=None,
                        help="per-trial wall-clock timeout in seconds; timed "
                             "out trials are retried on a fresh worker")
+        p.add_argument("--no-struct-cache", action="store_true",
+                       help="disable the compiled-structure store (default "
+                            "location: <cache dir>/structs, or "
+                            "$REPRO_STRUCT_CACHE)")
         p.add_argument("--no-preflight", action="store_true",
                        help="skip static pre-flight validation of trial "
                             "specs (repro-drain check run per config)")
@@ -857,10 +934,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "instead of running")
 
     p_lint = sub.add_parser(
-        "lint", help="determinism lint pass (DET001-DET011)"
+        "lint", help="determinism lint pass (DET001-DET012)"
     )
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the result cache and the compiled-"
+             "structure store",
+    )
+    p_cache.add_argument("action", nargs="?", choices=("info", "clear"),
+                         default="info",
+                         help="info (default): entry counts and sizes; "
+                              "clear: delete entries")
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="cache location (default: $REPRO_CACHE_DIR or "
+                              "~/.cache/repro-drain)")
+    p_cache.add_argument("--structs-only", action="store_true",
+                         help="operate on the compiled-structure store only")
+    p_cache.add_argument("--results-only", action="store_true",
+                         help="operate on the trial result cache only")
 
     return parser
 
@@ -877,6 +971,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": _cmd_check,
         "bench": _cmd_bench,
         "lint": _cmd_lint,
+        "cache": _cmd_cache,
     }
     try:
         return handlers[args.command](args)

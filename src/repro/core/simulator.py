@@ -28,13 +28,14 @@ from ..network.deadlock import (
     rotate_cycle,
 )
 from ..network.fabric import Fabric
-from ..network.index import FabricIndex
+from ..network.index import DenseCandidateTables, FabricIndex
 from ..network.spin import SpinController
 from ..network.staticbubble import StaticBubbleController
 from ..routing.adaptive import AdaptiveMinimalRouting
 from ..routing.dor import DimensionOrderRouting
 from ..routing.updown import UpDownRouting
-from ..topology.graph import Topology
+from ..structcache import parts_for
+from ..topology.graph import Link, Topology
 from . import rng as rng_mod
 from .config import Scheme, SimConfig
 from .metrics import NetworkStats
@@ -204,6 +205,12 @@ class Simulation:
             and not degradation_ladder
         )
         self.index = shared.index if adopt else FabricIndex(topology)
+        # Compiled-structure store warm path (repro.structcache): boot
+        # artefacts for this (topology, config-sans-seed) pair, or None
+        # when the store is inactive. Sound even for fault-bearing runs:
+        # the artefacts describe the boot (epoch 0) state, and every
+        # fault reconfiguration rebuilds tables from the live index.
+        parts = None if adopt else parts_for(topology, config)
         self.stats = NetworkStats()
         if flow_control == "wormhole" and scheme not in (
             Scheme.DRAIN, Scheme.NONE
@@ -221,6 +228,13 @@ class Simulation:
             # The classic deterministic variant: this is the baseline whose
             # cost Figure 5 quantifies.
             routing = UpDownRouting(self.index, deterministic=True)
+        elif parts is not None and parts.routing is not None:
+            routing = AdaptiveMinimalRouting(
+                self.index,
+                tables=DenseCandidateTables.from_arrays(
+                    self.index, *parts.routing
+                ),
+            )
         else:
             routing = AdaptiveMinimalRouting(self.index)
 
@@ -230,6 +244,15 @@ class Simulation:
             escape_mode = "drain"
             if adopt and drain_path is None:
                 drain_path = shared.drain_path
+            elif (
+                drain_path is None
+                and parts is not None
+                and parts.drain_links is not None
+            ):
+                drain_path = DrainPath(
+                    topology,
+                    [Link(src, dst) for src, dst in parts.drain_links],
+                )
         elif scheme is Scheme.ESCAPE_VC:
             escape_mode = "escape_vc"
             if adopt:

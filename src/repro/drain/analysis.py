@@ -19,9 +19,10 @@ instead of by sweep.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict
+from typing import Dict, List, Optional
 
 from ..core.config import DrainConfig
+from ..structcache import distances
 from .path import DrainPath
 
 __all__ = [
@@ -32,15 +33,23 @@ __all__ = [
 ]
 
 
-def misroute_expectation(path: DrainPath) -> float:
+def misroute_expectation(
+    path: DrainPath, dist: Optional[List[List[int]]] = None
+) -> float:
     """Expected misroute probability of one drain hop.
 
     Averaged over every (occupied link, destination) pair with uniform
     destinations: the fraction of forced turns that strictly increase the
     hop distance to the destination.
+
+    Callers that already hold the hop-distance matrix (a built
+    :attr:`FabricIndex.dist`) pass it as *dist*; by default it comes from
+    the structure store's memo layer, so the BFS is never repeated for a
+    topology whose matrix this process already computed.
     """
     topology = path.topology
-    dist = topology.all_pairs_distances()
+    if dist is None:
+        dist = distances(topology)
     worse = 0
     total = 0
     for link in path.links:

@@ -70,6 +70,11 @@ class RunManifest:
     trials: List[Dict[str, Any]]
     scale: Optional[Dict[str, Any]] = None
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Compiled-structure store counters (repro.structcache) of the parent
+    #: process, or None when the store was inactive. ``compiles`` counts
+    #: structures built from scratch this run — a warm rerun over an
+    #: unchanged configuration must report 0 (asserted in CI).
+    struct_cache: Optional[Dict[str, Any]] = None
     format: int = MANIFEST_FORMAT
 
     @property
@@ -90,6 +95,8 @@ def build_manifest(
     extra: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Snapshot *harness* bookkeeping into a manifest for artefact *name*."""
+    from .. import structcache
+
     scale_dict = None
     if scale is not None:
         scale_dict = dataclasses.asdict(scale)
@@ -109,6 +116,7 @@ def build_manifest(
         trials=[r.as_dict() for r in harness.records],
         scale=scale_dict,
         extra=dict(extra) if extra else {},
+        struct_cache=structcache.stats(),
     )
 
 

@@ -121,13 +121,22 @@ def _execute_payload(payload: Tuple[str, Dict[str, Any]]) -> Tuple[Dict[str, Any
     return result, time.perf_counter() - start
 
 
-def _worker_main(conn) -> None:
+def _worker_main(conn, struct_root=None) -> None:
     """Worker loop: receive (task_id, runner, params), send back outcomes.
 
     A ``None`` message is the shutdown sentinel. Exceptions are stringified
     and shipped to the parent — the worker survives them; only crashes
     (which close the pipe) take a worker down.
+
+    *struct_root* re-activates the parent's compiled-structure store in
+    spawn-context workers (fork workers inherit the activation and the
+    warm in-process memos directly); the parent warm-started every
+    structure before dispatch, so workers only ever mmap-load artefacts.
     """
+    if struct_root is not None:
+        from .. import structcache
+
+        structcache.activate(struct_root)
     while True:
         try:
             msg = conn.recv()
@@ -169,8 +178,13 @@ class _WorkerHandle:
     __slots__ = ("proc", "conn", "task", "deadline")
 
     def __init__(self, ctx) -> None:
+        from .. import structcache
+
+        store = structcache.active_store()
+        struct_root = str(store.root) if store is not None else None
         self.conn, child_conn = ctx.Pipe(duplex=True)
-        self.proc = ctx.Process(target=_worker_main, args=(child_conn,),
+        self.proc = ctx.Process(target=_worker_main,
+                                args=(child_conn, struct_root),
                                 daemon=True)
         self.proc.start()
         child_conn.close()
@@ -286,6 +300,7 @@ class Harness:
                 pending.append(i)
 
         if pending:
+            self._warm_structures([specs[i] for i in pending])
             units = self._plan_units(specs, pending)
             payloads: List[Tuple[str, Dict[str, Any]]] = []
             weights: List[int] = []
@@ -337,6 +352,47 @@ class Harness:
 
         self.records.extend(r for r in records if r is not None)
         return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------
+    def _warm_structures(self, specs: Sequence[TrialSpec]) -> None:
+        """Compile-once warm start for the structure store (no-op when off).
+
+        With the store active, every distinct (topology, config-sans-seed)
+        structure among *specs* is compiled or loaded exactly once here,
+        in the parent, before any worker spawns — so N workers x M trials
+        over one structure never compile it N x M times. Fork workers
+        inherit the warm in-process memo; spawn workers re-activate the
+        store and mmap-load the freshly-written artefacts.
+        """
+        from .. import structcache
+
+        if structcache.active_store() is None:
+            return
+        from ..core.configio import config_from_dict
+        from .trials import structural_params, topology_from_spec
+
+        seen = set()
+        for spec in specs:
+            pair = structural_params(spec)
+            if pair is None:
+                continue
+            topo_spec, config_dict = pair
+            key = structcache.structure_digest(topo_spec, config_dict)
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                topology = topology_from_spec(topo_spec)
+                config = config_from_dict(config_dict)
+            except (KeyError, TypeError, ValueError):
+                continue  # malformed spec: the trial itself reports it
+            try:
+                structcache.distances(topology)
+                structcache.parts_for(topology, config)
+            except ValueError:
+                # Structurally broken (e.g. disconnected topology with
+                # preflight off): let the per-trial error path surface it.
+                continue
 
     # ------------------------------------------------------------------
     def _plan_units(

@@ -33,7 +33,7 @@ import hashlib
 import json
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from ..core.config import SimConfig
 from ..core.configio import config_from_dict, config_to_dict
@@ -58,6 +58,7 @@ __all__ = [
     "lossless_trial",
     "batch_group_key",
     "batch_payload",
+    "structural_params",
 ]
 
 #: Bump to invalidate every cached result when trial semantics change.
@@ -502,6 +503,26 @@ def _run_lossless(params: Mapping[str, Any]) -> Dict[str, Any]:
 #: (its members build private index/routing parts and step their drain
 #: controller densely — see repro.network.batched).
 BATCHABLE_RUNNERS = ("synthetic", "fault_recovery")
+
+
+def structural_params(
+    spec: TrialSpec,
+) -> Optional[Tuple[Dict[str, Any], Dict[str, Any]]]:
+    """The (topology spec, config dict) pair shaping *spec*'s structure.
+
+    This is the structure store's view of a trial: everything under these
+    two params (minus the config seed) keys the compiled artefacts the
+    trial will boot from. Returns None for specs without the standard
+    ``topology``/``config`` params (e.g. ``batch.lockstep`` wrappers,
+    whose members are warmed individually before batching). Used by the
+    harness's compile-once warm start (:mod:`repro.harness.pool`).
+    """
+    params = spec.params
+    topo = params.get("topology") if isinstance(params, Mapping) else None
+    config = params.get("config") if isinstance(params, Mapping) else None
+    if not isinstance(topo, Mapping) or not isinstance(config, Mapping):
+        return None
+    return dict(topo), dict(config)
 
 
 def batch_group_key(spec: TrialSpec) -> Optional[str]:

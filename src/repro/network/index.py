@@ -71,6 +71,43 @@ class DenseCandidateTables:
         self.counts.setflags(write=False)
         self.offsets.setflags(write=False)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        index: "FabricIndex",
+        offsets: "_np.ndarray",
+        counts: "_np.ndarray",
+        links: "_np.ndarray",
+    ) -> "DenseCandidateTables":
+        """Adopt a stored CSR triple (structure-store warm path).
+
+        The arrays are typically read-only memory maps shared between
+        worker processes; they are validated for shape/dtype and tagged
+        with the live fault epoch (callers only adopt boot-state tables,
+        so this is epoch 0 in practice — later epochs rebuild from
+        scratch via the routing function).
+        """
+        if _np is None:  # pragma: no cover - numpy is a hard dependency
+            raise RuntimeError("dense candidate tables require numpy")
+        n = index.num_nodes
+        offsets = _np.asarray(offsets)
+        counts = _np.asarray(counts)
+        links = _np.asarray(links)
+        if offsets.shape != (n * n + 1,) or counts.shape != (n * n,):
+            raise ValueError("CSR table shape does not match the index")
+        if links.shape != (int(offsets[-1]),):
+            raise ValueError("CSR links length does not match its offsets")
+        self = object.__new__(cls)
+        self.num_nodes = n
+        self.epoch = index.fault_epoch
+        self.offsets = offsets
+        self.counts = counts
+        self.links = links
+        for arr in (self.offsets, self.counts, self.links):
+            if arr.flags.writeable:  # mmap_mode="r" arrays already are not
+                arr.setflags(write=False)
+        return self
+
     def row(self, router: int, dst: int) -> List[int]:
         """Candidate link ids for (router, dst), routing-function order."""
         idx = router * self.num_nodes + dst
@@ -116,7 +153,13 @@ class FabricIndex:
         ]
 
         # Hop-distance matrix for minimal routing and misroute accounting.
-        self.dist: List[List[int]] = topology.all_pairs_distances()
+        # Routed through the structure store's memo layer (DET012): one
+        # BFS per distinct topology content per process, persisted when
+        # the store is active. Imported lazily — the store compiles
+        # indices itself, so a top-level import would be circular.
+        from ..structcache import distances
+
+        self.dist: List[List[int]] = distances(topology)
 
         # Runtime fault state (mid-simulation link/router deaths). The
         # static port/link numbering never changes — dead resources keep

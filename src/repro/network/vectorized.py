@@ -150,10 +150,18 @@ class VectorizedEngine:
         fabric = self.fabric
         index = fabric.index
         n = index.num_nodes
-        exported = fabric.routing.export_tables(n)
-        if exported is None:  # pragma: no cover - gated at construction
-            raise RuntimeError("routing function stopped exporting tables")
-        self.tables = DenseCandidateTables(index, exported)
+        compiled = getattr(fabric.routing, "compiled_tables", None)
+        if compiled is not None and compiled.epoch == index.fault_epoch:
+            # Structure-store warm path: adopt the compiled CSR directly
+            # instead of re-flattening the routing function's list tables
+            # (identical by the store's round-trip contract; any fault
+            # rebuild clears compiled_tables, so staleness is impossible).
+            self.tables = compiled
+        else:
+            exported = fabric.routing.export_tables(n)
+            if exported is None:  # pragma: no cover - gated at construction
+                raise RuntimeError("routing function stopped exporting tables")
+            self.tables = DenseCandidateTables(index, exported)
         main_rows = self.tables.row_lists()
         esc_main_rows = None
         if fabric.escape_mode == "escape_vc":

@@ -10,9 +10,9 @@ deadlock-likelihood study.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from ..network.index import FabricIndex
+from ..network.index import DenseCandidateTables, FabricIndex
 from ..router.packet import Packet
 from .base import RoutingFunction
 
@@ -20,21 +20,47 @@ __all__ = ["AdaptiveMinimalRouting"]
 
 
 class AdaptiveMinimalRouting(RoutingFunction):
-    """Table-driven minimal adaptive routing over an arbitrary topology."""
+    """Table-driven minimal adaptive routing over an arbitrary topology.
+
+    Construction normally builds the productive-link tables from the
+    index's distance matrix. When the compiled-structure store holds this
+    structure, the simulator passes pre-compiled *tables* instead
+    (:class:`~repro.network.index.DenseCandidateTables`): they are
+    adopted only if their fault epoch matches the live index, and the
+    per-``(router, dst)`` list form is materialised lazily — the
+    vectorized engine consumes the CSR arrays directly and never needs
+    it. Any fault-driven :meth:`rebuild` discards compiled tables and
+    recomputes from the index, so stale tables cannot survive a fault.
+    """
 
     deadlock_free = False
 
-    def __init__(self, index: FabricIndex) -> None:
+    def __init__(
+        self,
+        index: FabricIndex,
+        tables: Optional[DenseCandidateTables] = None,
+    ) -> None:
         self.index = index
-        self._build(strict=True)
+        #: Store-compiled CSR tables, current iff this is not None.
+        self.compiled_tables: Optional[DenseCandidateTables] = None
+        if tables is not None and tables.epoch == index.fault_epoch:
+            if tables.num_nodes != index.num_nodes:
+                raise ValueError(
+                    "compiled tables do not match the index geometry"
+                )
+            self.compiled_tables = tables
+            self._productive: Optional[List[List[List[int]]]] = None
+        else:
+            self._build(strict=True)
 
     def _build(self, strict: bool) -> None:
+        self.compiled_tables = None
         index = self.index
         dist = index.dist
         n = index.num_nodes
         dead_links = index.dead_links
         # productive[router][dst] = link ids one hop closer to dst.
-        self._productive: List[List[List[int]]] = [[[] for _ in range(n)] for _ in range(n)]
+        self._productive = [[[] for _ in range(n)] for _ in range(n)]
         for router in range(n):
             for link in index.out_links[router]:
                 if link in dead_links:
@@ -55,6 +81,15 @@ class AdaptiveMinimalRouting(RoutingFunction):
                         "topology must be connected"
                     )
 
+    def _materialize(self) -> List[List[List[int]]]:
+        """Per-router list tables from the compiled CSR (scalar path)."""
+        tables = self.compiled_tables
+        assert tables is not None
+        n = tables.num_nodes
+        rows = tables.row_lists()
+        self._productive = [rows[r * n:(r + 1) * n] for r in range(n)]
+        return self._productive
+
     def rebuild(self) -> None:
         """Recompute the route tables after a runtime fault.
 
@@ -67,11 +102,17 @@ class AdaptiveMinimalRouting(RoutingFunction):
         self._build(strict=False)
 
     def candidates(self, router: int, packet: Packet) -> List[int]:
-        return self._productive[router][packet.dst]
+        productive = self._productive
+        if productive is None:
+            productive = self._materialize()
+        return productive[router][packet.dst]
 
     def raw_candidates(self, router: int, dst: int) -> List[int]:
         """Productive links for an explicit (router, dst) pair (test hook)."""
-        return list(self._productive[router][dst])
+        productive = self._productive
+        if productive is None:
+            productive = self._materialize()
+        return list(productive[router][dst])
 
     def export_tables(self, num_nodes: int) -> List[List[List[int]]]:
         """Zero-copy export of the productive-link tables.
@@ -80,4 +121,7 @@ class AdaptiveMinimalRouting(RoutingFunction):
         list objects, so the export is current by construction — including
         right after a fault-driven :meth:`rebuild`.
         """
-        return self._productive
+        productive = self._productive
+        if productive is None:
+            productive = self._materialize()
+        return productive

@@ -33,6 +33,13 @@ class RoutingFunction(ABC):
     #: stateful functions when building the channel-dependency graph.
     stateful: bool = False
 
+    #: Structure-store compiled CSR candidate tables
+    #: (:class:`~repro.network.index.DenseCandidateTables`) adopted at
+    #: construction, or None. Holders must treat them as current only
+    #: while ``compiled_tables.epoch`` matches the live index's fault
+    #: epoch; subclasses that adopt them clear this on any rebuild.
+    compiled_tables = None
+
     @abstractmethod
     def candidates(self, router: int, packet: Packet) -> List[int]:
         """Output link ids *packet* may take from *router* (dst != router)."""

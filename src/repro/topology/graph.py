@@ -18,6 +18,11 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+try:  # pragma: no cover - exercised indirectly by the parity tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less fallback
+    _np = None  # type: ignore[assignment]
+
 __all__ = ["Link", "Topology"]
 
 
@@ -178,15 +183,74 @@ class Topology:
                     frontier.append(m)
         return dist
 
-    def all_pairs_distances(self) -> List[List[int]]:
-        """Hop-distance matrix ``dist[src][dst]`` via repeated BFS."""
-        return [self.bfs_distances(n) for n in self.nodes]
+    def all_pairs_distances(self, scalar: bool = False) -> List[List[int]]:
+        """Hop-distance matrix ``dist[src][dst]``.
+
+        The default path is a level-synchronous multi-source frontier
+        expansion over a CSR adjacency (numpy); ``scalar=True`` forces the
+        repeated-deque-BFS reference implementation.  Both produce
+        ``==``-identical matrices: hop distances are visit-order
+        independent, and unreachable pairs stay -1 either way.
+
+        Callers outside :mod:`repro.topology.graph` and the structure
+        store must go through ``repro.structcache.distances`` (the memo
+        layer) instead of calling this directly — lint rule DET012.
+        """
+        if scalar or _np is None:
+            return [self.bfs_distances(n) for n in self.nodes]
+        return self._all_pairs_numpy().tolist()
+
+    def _all_pairs_numpy(self) -> "_np.ndarray":
+        """All-pairs hop distances as an ``(n, n)`` int32 array (numpy).
+
+        Runs every source's BFS at once: the frontier is a flat array of
+        ``src * n + node`` keys, and each level gathers the neighbours of
+        all frontier pairs with a ranged gather over the CSR ``indices``
+        array instead of a per-node Python loop.
+        """
+        n = self.num_nodes
+        counts = _np.fromiter(
+            (len(self._adjacency[v]) for v in range(n)),
+            dtype=_np.int64,
+            count=n,
+        )
+        indptr = _np.zeros(n + 1, dtype=_np.int64)
+        _np.cumsum(counts, out=indptr[1:])
+        indices = _np.fromiter(
+            (m for v in range(n) for m in self._adjacency[v]),
+            dtype=_np.int64,
+            count=int(indptr[n]),
+        )
+        dist = _np.full(n * n, -1, dtype=_np.int32)
+        frontier = _np.arange(n, dtype=_np.int64) * (n + 1)  # src*n + src
+        dist[frontier] = 0
+        level = 0
+        while frontier.size:
+            level += 1
+            node = frontier % n
+            deg = counts[node]
+            total = int(deg.sum())
+            if total == 0:
+                break
+            # Ranged gather: for frontier entry i with degree deg[i], emit
+            # indices[indptr[node[i]] + 0 .. deg[i]-1], all in one shot.
+            reps = _np.repeat(_np.arange(frontier.size), deg)
+            offs = _np.arange(total) - _np.repeat(_np.cumsum(deg) - deg, deg)
+            nbr = indices[indptr[node][reps] + offs]
+            keys = (frontier[reps] - node[reps]) + nbr  # src*n + neighbour
+            fresh = keys[dist[keys] < 0]
+            if fresh.size == 0:
+                break
+            dist[fresh] = level  # duplicate keys write the same level
+            # Deduplicated (and sorted) next frontier via a linear scan —
+            # cheaper than np.unique's sort on multi-million-key levels.
+            frontier = _np.flatnonzero(dist == level)
+        return dist.reshape(n, n)
 
     def diameter(self) -> int:
         """Largest hop count between any pair of routers."""
         best = 0
-        for n in self.nodes:
-            dist = self.bfs_distances(n)
+        for dist in self.all_pairs_distances():
             if min(dist) < 0:
                 raise ValueError("diameter undefined: topology is disconnected")
             best = max(best, max(dist))
@@ -196,8 +260,8 @@ class Topology:
         """Mean hop count over all ordered router pairs."""
         total = 0
         pairs = 0
-        for n in self.nodes:
-            for d in self.bfs_distances(n):
+        for row in self.all_pairs_distances():
+            for d in row:
                 if d > 0:
                     total += d
                     pairs += 1

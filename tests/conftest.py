@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 import random
 from pathlib import Path
 
@@ -15,6 +16,13 @@ from repro.topology.mesh import make_mesh
 
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# The suite must never read or write the user's persistent compiled-
+# structure store: CLI-driving tests would otherwise activate it at its
+# default location and leak artefacts (certificates especially) across
+# unrelated tests *and* pytest runs. Tests that want the store activate
+# a tmp-path one explicitly (see tests/test_structcache.py).
+os.environ.setdefault("REPRO_STRUCT_CACHE", "off")
 
 
 def pytest_addoption(parser):

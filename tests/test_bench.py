@@ -33,7 +33,14 @@ def _cli(*args: str, cwd=None):
     return subprocess.run(
         [sys.executable, "-m", "repro.cli", *args],
         capture_output=True, text=True, cwd=cwd,
-        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        env={
+            "PYTHONPATH": str(REPO / "src"),
+            "PATH": "/usr/bin:/bin",
+            # The CLI activates the compiled-structure store at its default
+            # (user-level) location when this var is absent; the suite must
+            # never write outside its tmp dirs.
+            "REPRO_STRUCT_CACHE": "off",
+        },
     )
 
 

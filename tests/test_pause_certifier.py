@@ -1,4 +1,4 @@
-"""Pause-aware static certifier + engine-parity lint rules (DET007-011).
+"""Pause-aware static certifier + engine-parity lint rules (DET007-012).
 
 Known-answer coverage for the lossless certification matrix on the pinned
 leaf-spine CBD scenario and the fat-tree up*/down* fabric, unit coverage
@@ -391,6 +391,28 @@ class TestDet011BatchInnerLoopBranching:
         path = root / "src" / "repro" / "network" / "batched.py"
         found = [f.code for f in lint_source(path.read_text(), str(path))]
         assert found == []
+
+
+class TestDet012DirectAllPairs:
+    SRC = "d = topology.all_pairs_distances()\n"
+
+    def test_direct_call_fires_anywhere(self):
+        assert codes(self.SRC, "src/repro/drain/demo.py") == ["DET012"]
+        assert codes(self.SRC, KERNEL) == ["DET012"]
+
+    def test_message_points_at_the_memo_layer(self):
+        [finding] = lint_source(self.SRC, "src/repro/faults/demo.py")
+        assert "repro.structcache.distances" in finding.message
+
+    def test_entry_points_are_allowlisted(self):
+        # The topology method itself and the store's compile path are the
+        # only sanctioned callers of the raw all-pairs BFS.
+        assert codes(self.SRC, "src/repro/topology/graph.py") == []
+        assert codes(self.SRC, "src/repro/structcache/store.py") == []
+
+    def test_pragma_suppresses(self):
+        src = "d = topology.all_pairs_distances()  # det: allow\n"
+        assert codes(src, "src/repro/drain/demo.py") == []
 
 
 # ---------------------------------------------------------------------------

@@ -107,6 +107,34 @@ class TestGraphAnalysis:
         topo = Topology(2, [(0, 1)])
         assert topo.average_distance() == 1.0
 
+    def test_all_pairs_vectorized_matches_scalar(self):
+        # The numpy frontier-expansion BFS must be ==-identical to the
+        # scalar reference on every topology shape, including the -1
+        # convention for unreachable pairs.
+        import random
+
+        from repro.topology.datacenter import make_leaf_spine
+
+        numpy = pytest.importorskip("numpy")
+        topologies = [
+            make_mesh(4, 4),
+            make_mesh(8, 8),
+            make_leaf_spine(8, 4, uplinks=1, east_west=True),
+            Topology(5, [(0, 1), (1, 2), (3, 4)]),  # disconnected
+        ]
+        rng = random.Random(11)
+        for _ in range(10):
+            n = rng.randrange(4, 24)
+            edges = {
+                tuple(sorted(rng.sample(range(n), 2)))
+                for _ in range(rng.randrange(n - 1, 3 * n))
+            }
+            topologies.append(Topology(n, sorted(edges)))
+        for topo in topologies:
+            scalar = topo.all_pairs_distances(scalar=True)
+            assert topo._all_pairs_numpy().tolist() == scalar
+            assert topo.all_pairs_distances() == scalar
+
     def test_critical_edge_in_chain(self):
         topo = Topology(3, [(0, 1), (1, 2)])
         assert topo.is_critical_edge(0, 1)
